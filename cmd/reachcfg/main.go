@@ -1,0 +1,85 @@
+// Command reachcfg validates and prints ReACH system configurations, and
+// checks that a set of kernel templates fits the FPGA at each compute
+// level — the static half of the ReACH configuration step (paper Fig. 6).
+//
+// Usage:
+//
+//	reachcfg -print                  # dump the Table II defaults as JSON
+//	reachcfg -check sys.json         # validate a config file
+//	reachcfg -fit CNN-VU9P,GEMM-VU9P # can these share one device?
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/config"
+	"repro/internal/fpga"
+)
+
+func main() {
+	var (
+		printDefault = flag.Bool("print", false, "print the default (Table II) configuration as JSON")
+		check        = flag.String("check", "", "validate a configuration JSON file")
+		fit          = flag.String("fit", "", "comma-separated template names to co-locate on one device")
+	)
+	flag.Parse()
+
+	switch {
+	case *printDefault:
+		if err := config.Default().Save("/dev/stdout"); err != nil {
+			fatal(err)
+		}
+	case *check != "":
+		cfg, err := config.Load(*check)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: valid (%d on-chip, %d near-memory, %d near-storage accelerators)\n",
+			*check, cfg.Instances.OnChip, cfg.Instances.NearMemory, cfg.Instances.NearStorage)
+	case *fit != "":
+		if err := checkFit(strings.Split(*fit, ",")); err != nil {
+			fatal(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func checkFit(names []string) error {
+	reg := fpga.NewRegistry()
+	var total fpga.Utilization
+	var dev *fpga.Device
+	for _, raw := range names {
+		name := strings.TrimSpace(raw)
+		t, err := reg.Lookup(name)
+		if err != nil {
+			return err
+		}
+		if dev == nil {
+			dev = t.Device
+		} else if dev != t.Device {
+			return fmt.Errorf("templates target different devices (%s vs %s)", dev.Name, t.Device.Name)
+		}
+		total = total.Add(t.Util)
+	}
+	if dev == nil {
+		return fmt.Errorf("no templates given")
+	}
+	fmt.Printf("device %s combined utilisation: ff=%.0f%% lut=%.0f%% dsp=%.0f%% bram=%.0f%%\n",
+		dev.Name, total.FF, total.LUT, total.DSP, total.BRAM)
+	if total.Fits() {
+		fmt.Println("fits: yes — kernels can be co-resident (no reconfiguration needed)")
+	} else {
+		fmt.Println("fits: no — partial reconfiguration required between kernels")
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "reachcfg:", err)
+	os.Exit(1)
+}

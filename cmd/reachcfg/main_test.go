@@ -1,0 +1,28 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestCheckFit(t *testing.T) {
+	// Single kernels always fit.
+	if err := checkFit([]string{"CNN-VU9P"}); err != nil {
+		t.Errorf("single kernel: %v", err)
+	}
+	// Whitespace tolerated.
+	if err := checkFit([]string{" GEMM-ZCU9 ", "KNN-ZCU9"}); err != nil {
+		t.Errorf("pair: %v", err)
+	}
+	// Unknown template.
+	if err := checkFit([]string{"NOPE"}); err == nil {
+		t.Error("unknown template accepted")
+	}
+	// Mixed devices rejected.
+	if err := checkFit([]string{"CNN-VU9P", "CNN-ZCU9"}); err == nil {
+		t.Error("mixed-device fit accepted")
+	}
+	// Empty list rejected.
+	if err := checkFit(nil); err == nil {
+		t.Error("empty list accepted")
+	}
+}

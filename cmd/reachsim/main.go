@@ -1,0 +1,239 @@
+// Command reachsim regenerates the tables and figures of the ReACH paper's
+// evaluation section from the cycle-level simulator.
+//
+// Usage:
+//
+//	reachsim -exp fig13            # one experiment
+//	reachsim -exp all              # everything
+//	reachsim -exp fig9 -csv        # CSV instead of aligned text
+//	reachsim -list                 # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/config"
+	"repro/internal/energy"
+	"repro/internal/experiments"
+	"repro/internal/report"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+var experimentIDs = []string{
+	"table1", "table2", "table3", "table4",
+	"fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
+	"ablation-gam", "ablation-mapping", "ablation-nsbuffer", "ablation-granularity",
+	"motivation", "loadsweep", "skew", "reverselookup", "multitenant", "recallsweep",
+}
+
+func main() {
+	var (
+		exp       = flag.String("exp", "all", "experiment id (see -list)")
+		csvOut    = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		list      = flag.Bool("list", false, "list experiment ids and exit")
+		cfgPath   = flag.String("config", "", "optional system config JSON (defaults to Table II)")
+		tracePath = flag.String("trace", "", "write a Chrome trace of a ReACH pipeline run to this file")
+		stats     = flag.Bool("stats", false, "run a ReACH pipeline and dump all component statistics")
+	)
+	flag.Parse()
+
+	if *stats {
+		run, err := experiments.RunPipeline(workload.DefaultModel(), experiments.ReACHMapping(), 4, 8)
+		if err != nil {
+			fatal(err)
+		}
+		if err := run.Sys.WriteSnapshot(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	if *tracePath != "" {
+		if err := writeTrace(*tracePath); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "trace written to %s (open in chrome://tracing or Perfetto)\n", *tracePath)
+		return
+	}
+
+	if *list {
+		for _, id := range experimentIDs {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	cfg := config.Default()
+	if *cfgPath != "" {
+		var err error
+		cfg, err = config.Load(*cfgPath)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	m := workload.DefaultModel()
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = experimentIDs
+	}
+	for _, id := range ids {
+		tables, err := run(id, cfg, m)
+		if err != nil {
+			fatal(err)
+		}
+		for _, t := range tables {
+			if err := emit(t, os.Stdout, *csvOut); err != nil {
+				fatal(err)
+			}
+		}
+	}
+}
+
+func run(id string, cfg config.SystemConfig, m workload.Model) ([]*report.Table, error) {
+	switch strings.ToLower(id) {
+	case "table1":
+		return []*report.Table{experiments.TableI(m)}, nil
+	case "table2":
+		return []*report.Table{experiments.TableII(cfg)}, nil
+	case "table3":
+		return []*report.Table{experiments.TableIII()}, nil
+	case "table4":
+		return []*report.Table{experiments.TableIV(energy.DefaultCosts())}, nil
+	case "fig8":
+		r, err := experiments.Fig8(m)
+		if err != nil {
+			return nil, err
+		}
+		return []*report.Table{r.Table()}, nil
+	case "fig9":
+		s, err := experiments.Fig9(m)
+		if err != nil {
+			return nil, err
+		}
+		return []*report.Table{s.Table("Fig 9")}, nil
+	case "fig10":
+		s, err := experiments.Fig10(m)
+		if err != nil {
+			return nil, err
+		}
+		return []*report.Table{s.Table("Fig 10")}, nil
+	case "fig11":
+		s, err := experiments.Fig11(m)
+		if err != nil {
+			return nil, err
+		}
+		return []*report.Table{s.Table("Fig 11")}, nil
+	case "fig12":
+		r, err := experiments.Fig12(m)
+		if err != nil {
+			return nil, err
+		}
+		return []*report.Table{r.Table()}, nil
+	case "fig13":
+		r, err := experiments.Fig13(m)
+		if err != nil {
+			return nil, err
+		}
+		return []*report.Table{r.Table()}, nil
+	case "ablation-gam":
+		r, err := experiments.AblationGAM(m)
+		if err != nil {
+			return nil, err
+		}
+		return []*report.Table{r.Table()}, nil
+	case "ablation-mapping":
+		r, err := experiments.AblationMapping(m)
+		if err != nil {
+			return nil, err
+		}
+		return []*report.Table{r.Table()}, nil
+	case "ablation-granularity":
+		r, err := experiments.AblationGranularity(m)
+		if err != nil {
+			return nil, err
+		}
+		return []*report.Table{r.Table()}, nil
+	case "recallsweep":
+		r, err := experiments.RecallSweep(m)
+		if err != nil {
+			return nil, err
+		}
+		return []*report.Table{r.Table()}, nil
+	case "multitenant":
+		r, err := experiments.MultiTenant(m)
+		if err != nil {
+			return nil, err
+		}
+		return []*report.Table{r.Table()}, nil
+	case "reverselookup":
+		r, err := experiments.ReverseLookup(m)
+		if err != nil {
+			return nil, err
+		}
+		return []*report.Table{r.Table()}, nil
+	case "skew":
+		r, err := experiments.SkewExperiment(m)
+		if err != nil {
+			return nil, err
+		}
+		return []*report.Table{r.Table()}, nil
+	case "loadsweep":
+		onchip, reach, err := experiments.LoadSweepBoth(m)
+		if err != nil {
+			return nil, err
+		}
+		return []*report.Table{experiments.LoadSweepTable(onchip, reach)}, nil
+	case "ablation-nsbuffer":
+		r, err := experiments.AblationNSBuffer(m)
+		if err != nil {
+			return nil, err
+		}
+		return []*report.Table{r.Table()}, nil
+	case "motivation":
+		r, err := experiments.Motivation()
+		if err != nil {
+			return nil, err
+		}
+		return []*report.Table{r.Table()}, nil
+	default:
+		return nil, fmt.Errorf("unknown experiment %q (use -list)", id)
+	}
+}
+
+func emit(t *report.Table, w io.Writer, csv bool) error {
+	if csv {
+		return t.CSV(w)
+	}
+	return t.Render(w)
+}
+
+// writeTrace runs an 8-batch ReACH pipeline and dumps its timeline.
+func writeTrace(path string) error {
+	run, err := experiments.RunPipeline(workload.DefaultModel(), experiments.ReACHMapping(), 4, 8)
+	if err != nil {
+		return err
+	}
+	tl := trace.NewTimeline()
+	for _, j := range run.Jobs {
+		if err := tl.AddJob(j); err != nil {
+			return err
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return tl.WriteJSON(f)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "reachsim:", err)
+	os.Exit(1)
+}

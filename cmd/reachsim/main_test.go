@@ -1,0 +1,51 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/workload"
+)
+
+func TestRunAllExperimentIDs(t *testing.T) {
+	cfg := config.Default()
+	m := workload.DefaultModel()
+	for _, id := range experimentIDs {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			tables, err := run(id, cfg, m)
+			if err != nil {
+				t.Fatalf("%s: %v", id, err)
+			}
+			if len(tables) == 0 {
+				t.Fatalf("%s produced no tables", id)
+			}
+			var sb strings.Builder
+			for _, tb := range tables {
+				if err := tb.Render(&sb); err != nil {
+					t.Fatal(err)
+				}
+				if err := tb.CSV(&sb); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if sb.Len() == 0 {
+				t.Fatalf("%s rendered empty output", id)
+			}
+		})
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	if _, err := run("nonsense", config.Default(), workload.DefaultModel()); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestWriteTrace(t *testing.T) {
+	path := t.TempDir() + "/trace.json"
+	if err := writeTrace(path); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,105 @@
+// Quickstart: configure a minimal ReACH meta-accelerator and run one batch
+// through the simulated hierarchy.
+//
+//	go run ./examples/quickstart
+//
+// The program registers one on-chip CNN and one near-storage KNN, wires
+// them with a stream (the paper's Listing 2 in miniature), runs a batch
+// (Listing 3), and prints the simulated latency and energy breakdown.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/reach"
+)
+
+func main() {
+	// A system with one accelerator at each level (Table II hardware).
+	sys, err := reach.NewSystem(reach.WithInstances(1, 1, 1))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// --- Configuration (config.h) ----------------------------------------
+	// Model parameters live on chip; a 96 GB feature shard on the SSD.
+	if _, err := sys.CreateFixedBuffer("vgg16_param", reach.OnChip, 11_300_000); err != nil {
+		log.Fatal(err)
+	}
+	db, err := sys.CreateFixedBuffer("feature_db0", reach.NearStor, 96_000_000_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	input, err := sys.CreateStream("Input", reach.CPU, reach.OnChip, reach.Pair, 16*224*224*3, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	features, err := sys.CreateStream("Features", reach.OnChip, reach.NearStor, reach.BroadCast, 16*96*4, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	result, err := sys.CreateStream("Result", reach.NearStor, reach.CPU, reach.Collect, 16*10*8, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cnn, err := sys.RegisterAcc("VGG16-VU9P", reach.OnChip)
+	if err != nil {
+		log.Fatal(err)
+	}
+	must(cnn.SetArg(0, input))
+	must(cnn.SetArg(1, features))
+	cnn.SetWork(reach.Work{
+		Stage:       "FeatureExtraction",
+		MACs:        16 * 15.47e9, // one VGG16 batch
+		SPMResident: true,         // compressed params fit on-chip SRAM
+		OutputBytes: 16 * 96 * 4,
+	})
+
+	knn, err := sys.RegisterAcc("KNN-ZCU9", reach.NearStor)
+	if err != nil {
+		log.Fatal(err)
+	}
+	must(knn.SetArg(0, features))
+	must(knn.SetArg(1, db))
+	must(knn.SetArg(2, result))
+	knn.SetWork(reach.Work{
+		Stage:       "Rerank",
+		MACs:        590e6,
+		StreamBytes: 2_460_000_000, // candidate scan per batch
+		OutputBytes: 16 * 10 * 8,
+	})
+
+	// --- Deployment + host loop (host.cpp) --------------------------------
+	if err := sys.Deploy(); err != nil {
+		log.Fatal(err)
+	}
+	batch, err := sys.Begin()
+	if err != nil {
+		log.Fatal(err)
+	}
+	must(batch.Enqueue(input))
+	must(batch.Execute(cnn))
+	must(batch.Broadcast(features))
+	must(batch.Execute(knn))
+	must(batch.Collect(result))
+	must(batch.Commit())
+	sys.Run()
+
+	fmt.Printf("batch completed in %v (simulated)\n", batch.Latency())
+	fmt.Println("energy breakdown (J):")
+	for comp, joules := range sys.Energy() {
+		if joules > 0 {
+			fmt.Printf("  %-20s %.3f\n", comp, joules)
+		}
+	}
+	fmt.Printf("total: %.2f J\n", sys.TotalEnergy())
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,153 @@
+package accel
+
+import (
+	"fmt"
+
+	"repro/internal/fpga"
+	"repro/internal/noc"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// OnChipAccel is the cache-coherent on-chip accelerator (paper §II-A,
+// Fig. 2): a large Virtex-class fabric on the NoC with a 100 GB/s port to
+// the shared cache, virtual-memory support (TLB + page-table walkers), and
+// host DRAM behind the shared memory controllers.
+type OnChipAccel struct {
+	p    *Platform
+	name string
+	fab  *fpga.Fabric
+	port *noc.Port
+	llc  *noc.Port
+}
+
+// NewOnChip attaches a new on-chip accelerator instance to the platform.
+func (p *Platform) NewOnChip() *OnChipAccel {
+	name := p.id(OnChip)
+	llc, _ := p.NoC.Port("llc")
+	return &OnChipAccel{
+		p:    p,
+		name: name,
+		fab:  fpga.NewFabric(p.Eng, name, fpga.VirtexVU9P),
+		port: p.NoC.MustAddPort(name, p.Cfg.OnChip.NoCGBps*1e9),
+		llc:  llc,
+	}
+}
+
+// Name reports the instance name.
+func (a *OnChipAccel) Name() string { return a.name }
+
+// Level reports OnChip.
+func (a *OnChipAccel) Level() Level { return OnChip }
+
+// Fabric exposes the device fabric.
+func (a *OnChipAccel) Fabric() *fpga.Fabric { return a.fab }
+
+// BusyUntil reports when the device can accept the next task.
+func (a *OnChipAccel) BusyUntil() sim.Time { return a.fab.BusyUntil() }
+
+// Estimate returns the synthesis-report runtime estimate.
+func (a *OnChipAccel) Estimate(t *Task) sim.Time { return estimate(t) }
+
+// Execute runs one task. The streamed input is supplied over the path its
+// Source implies; the kernel pipeline overlaps with the stream, so task
+// latency is max(supply, compute) plus translation overhead.
+func (a *OnChipAccel) Execute(t *Task) (sim.Time, error) {
+	if err := t.Validate(); err != nil {
+		return 0, err
+	}
+	if !a.fab.Idle() {
+		return 0, fmt.Errorf("accel: %s busy until %v", a.name, a.fab.BusyUntil())
+	}
+	now := a.p.Eng.Now()
+	meter := a.p.Meter
+	cfg := a.p.Cfg
+
+	supplyDone := now
+	switch t.Source {
+	case SourceSPM:
+		// Parameters resident in on-fabric SRAM: no movement.
+	case SourceHostDRAM:
+		// DRAM → MC → LLC → NoC → accelerator. Streaming working sets far
+		// beyond the LLC contend with their own evictions; the pollution
+		// factor derates the effective channel efficiency (§IV-B).
+		eff := cfg.Memory.StreamEfficieny * cfg.OnChip.CachePollutionFactor
+		if t.Pattern == storage.RandomPages {
+			eff = cfg.Memory.RandomEfficieny * cfg.OnChip.CachePollutionFactor
+		}
+		supplyDone = a.p.HostMem.Link().TransferEff(t.Bytes, eff)
+		if nocDone := a.p.NoC.Transfer(a.llc, a.port, t.Bytes); nocDone > supplyDone {
+			supplyDone = nocDone
+		}
+		meter.DRAMTraffic(t.Stage, t.Bytes)
+		meter.MCTraffic(t.Stage, t.Bytes)
+		meter.CacheTraffic(t.Stage, t.Bytes)
+	case SourceSSD:
+		// SSD → host PCIe → DRAM staging → cache → accelerator. The read
+		// is striped across the array; every byte also crosses host DRAM
+		// twice (staging write + read), and the accelerator's read of the
+		// staged buffer cannot overlap the tail of the gather — on-chip
+		// acceleration synchronises on staged-buffer completion at batch
+		// granularity, unlike the near-data levels that consume in place.
+		supplyDone = a.readStriped(t.Bytes, t.Pattern)
+		eff := cfg.Memory.StreamEfficieny * cfg.OnChip.CachePollutionFactor
+		if stg := a.p.HostMem.Link().TransferEff(t.Bytes, eff); stg > supplyDone {
+			supplyDone = stg
+		}
+		readPass := sim.FromSeconds(float64(t.Bytes) / (a.p.HostMem.Link().BytesPerSec() * eff))
+		if rd := a.p.HostMem.Link().TransferEff(t.Bytes, eff); rd > supplyDone+readPass {
+			supplyDone = rd
+		} else {
+			supplyDone += readPass
+		}
+		if nocDone := a.p.NoC.Transfer(a.llc, a.port, t.Bytes); nocDone > supplyDone {
+			supplyDone = nocDone
+		}
+		meter.SSDTraffic(t.Stage, t.Bytes)
+		meter.PCIeTraffic(t.Stage, t.Bytes)
+		meter.DRAMTraffic(t.Stage, 2*t.Bytes)
+		meter.MCTraffic(t.Stage, 2*t.Bytes)
+		meter.CacheTraffic(t.Stage, t.Bytes)
+	default:
+		return 0, fmt.Errorf("accel: %s cannot stream from %v", a.name, t.Source)
+	}
+
+	kernelDur := t.Kernel.Duration(t.MACs, t.Bytes)
+	// Address-translation overhead: misses per page-ish granule.
+	if cfg.OnChip.TLBMissRate > 0 && t.Bytes > 0 {
+		accesses := float64(t.Bytes) / float64(cfg.CPU.L2LineBytes)
+		missNS := accesses * cfg.OnChip.TLBMissRate * cfg.OnChip.TLBMissLatencyNS
+		kernelDur += sim.FromSeconds(missNS * 1e-9)
+	}
+
+	done := now + kernelDur
+	if supplyDone > done {
+		done = supplyDone
+	}
+	a.fab.Occupy(done - now)
+	meter.AddActive(t.Stage, t.Kernel.Power(false), done-now)
+
+	if t.OutputBytes > 0 {
+		a.p.NoC.Transfer(a.port, a.llc, t.OutputBytes)
+		meter.CacheTraffic(t.Stage, t.OutputBytes)
+	}
+	return done, nil
+}
+
+// readStriped reads n bytes spread evenly across the SSD array through the
+// host interface and returns the last completion.
+func (a *OnChipAccel) readStriped(n int64, pattern storage.AccessPattern) sim.Time {
+	count := a.p.Storage.Len()
+	per := n / int64(count)
+	var last sim.Time
+	for i := 0; i < count; i++ {
+		chunk := per
+		if i == count-1 {
+			chunk = n - per*int64(count-1)
+		}
+		if d := a.p.Storage.HostRead(i, chunk, pattern); d > last {
+			last = d
+		}
+	}
+	return last
+}

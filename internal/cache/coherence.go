@@ -1,0 +1,243 @@
+package cache
+
+import (
+	"fmt"
+)
+
+// This file models the cache-coherent interface between the host cores and
+// the on-chip accelerator (paper §II-A: the NoC "provides a cache-coherent
+// interface between all elements and main memory", with the address-
+// translation support of [14]). A directory tracks, per line, which agents
+// hold it and in what state (MSI protocol — Modified/Shared/Invalid);
+// reads and writes return the coherence actions they caused, which the
+// timing layer can convert into NoC messages and the energy layer into
+// cache traffic.
+
+// CoherenceState is a line's directory state.
+type CoherenceState int
+
+const (
+	// Invalid: no cached copies.
+	Invalid CoherenceState = iota
+	// Shared: one or more clean copies.
+	Shared
+	// Modified: exactly one dirty copy.
+	Modified
+)
+
+func (s CoherenceState) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Modified:
+		return "M"
+	default:
+		return fmt.Sprintf("CoherenceState(%d)", int(s))
+	}
+}
+
+// CoherenceAction summarises what one access caused.
+type CoherenceAction struct {
+	// Invalidations is how many remote copies were invalidated.
+	Invalidations int
+	// WriteBack reports whether a remote dirty copy had to be written
+	// back before this access could proceed.
+	WriteBack bool
+	// Fetch reports whether the line had to come from memory (no cached
+	// copy, or only after a write-back).
+	Fetch bool
+}
+
+type dirEntry struct {
+	state   CoherenceState
+	sharers uint64 // bitmask over agents
+	owner   int    // valid when Modified
+}
+
+// Directory is an MSI coherence directory over a set of agents (agent 0 is
+// conventionally the CPU cores, agent 1 the on-chip accelerator).
+type Directory struct {
+	agents   int
+	lineSize int64
+	lines    map[int64]*dirEntry
+
+	// stats
+	reads, writes   uint64
+	invalidations   uint64
+	writeBacks      uint64
+	fetches         uint64
+	upgradeMisses   uint64 // S→M transitions
+	cleanDowngrades uint64 // M→S on remote read
+}
+
+// NewDirectory creates a directory for `agents` coherent agents.
+func NewDirectory(agents int, lineSize int64) (*Directory, error) {
+	if agents <= 0 || agents > 64 {
+		return nil, fmt.Errorf("cache: directory supports 1..64 agents, got %d", agents)
+	}
+	if lineSize <= 0 || lineSize&(lineSize-1) != 0 {
+		return nil, fmt.Errorf("cache: line size %d not a positive power of two", lineSize)
+	}
+	return &Directory{agents: agents, lineSize: lineSize, lines: make(map[int64]*dirEntry)}, nil
+}
+
+func (d *Directory) entry(addr int64) *dirEntry {
+	key := addr / d.lineSize
+	e, ok := d.lines[key]
+	if !ok {
+		e = &dirEntry{state: Invalid}
+		d.lines[key] = e
+	}
+	return e
+}
+
+func (d *Directory) checkAgent(agent int) {
+	if agent < 0 || agent >= d.agents {
+		panic(fmt.Sprintf("cache: agent %d out of range [0,%d)", agent, d.agents))
+	}
+}
+
+// Read performs a coherent read by `agent`.
+func (d *Directory) Read(agent int, addr int64) CoherenceAction {
+	d.checkAgent(agent)
+	d.reads++
+	e := d.entry(addr)
+	var act CoherenceAction
+	switch e.state {
+	case Invalid:
+		act.Fetch = true
+		d.fetches++
+		e.state = Shared
+		e.sharers = 1 << agent
+	case Shared:
+		if e.sharers&(1<<agent) == 0 {
+			act.Fetch = true
+			d.fetches++
+			e.sharers |= 1 << agent
+		}
+	case Modified:
+		if e.owner == agent {
+			return act // local hit in M
+		}
+		// Remote dirty copy: write back, downgrade to Shared.
+		act.WriteBack = true
+		act.Fetch = true
+		d.writeBacks++
+		d.fetches++
+		d.cleanDowngrades++
+		e.state = Shared
+		e.sharers = (1 << e.owner) | (1 << agent)
+	}
+	return act
+}
+
+// Write performs a coherent write by `agent` (read-for-ownership).
+func (d *Directory) Write(agent int, addr int64) CoherenceAction {
+	d.checkAgent(agent)
+	d.writes++
+	e := d.entry(addr)
+	var act CoherenceAction
+	switch e.state {
+	case Invalid:
+		act.Fetch = true
+		d.fetches++
+	case Shared:
+		// Invalidate every other sharer.
+		for a := 0; a < d.agents; a++ {
+			if a != agent && e.sharers&(1<<a) != 0 {
+				act.Invalidations++
+			}
+		}
+		d.invalidations += uint64(act.Invalidations)
+		if e.sharers&(1<<agent) == 0 {
+			act.Fetch = true
+			d.fetches++
+		} else {
+			d.upgradeMisses++
+		}
+	case Modified:
+		if e.owner == agent {
+			return act // already owned
+		}
+		act.WriteBack = true
+		act.Fetch = true
+		act.Invalidations = 1
+		d.writeBacks++
+		d.fetches++
+		d.invalidations++
+	}
+	e.state = Modified
+	e.owner = agent
+	e.sharers = 1 << agent
+	return act
+}
+
+// Evict removes agent's copy (capacity eviction); a Modified copy reports
+// a write-back.
+func (d *Directory) Evict(agent int, addr int64) (writeBack bool) {
+	d.checkAgent(agent)
+	e := d.entry(addr)
+	switch e.state {
+	case Modified:
+		if e.owner != agent {
+			return false
+		}
+		d.writeBacks++
+		e.state = Invalid
+		e.sharers = 0
+		return true
+	case Shared:
+		e.sharers &^= 1 << agent
+		if e.sharers == 0 {
+			e.state = Invalid
+		}
+	}
+	return false
+}
+
+// State reports a line's directory state.
+func (d *Directory) State(addr int64) CoherenceState {
+	key := addr / d.lineSize
+	if e, ok := d.lines[key]; ok {
+		return e.state
+	}
+	return Invalid
+}
+
+// Sharers reports how many agents hold the line.
+func (d *Directory) Sharers(addr int64) int {
+	key := addr / d.lineSize
+	e, ok := d.lines[key]
+	if !ok {
+		return 0
+	}
+	n := 0
+	for a := 0; a < d.agents; a++ {
+		if e.sharers&(1<<a) != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// DirectoryStats is a counters snapshot.
+type DirectoryStats struct {
+	Reads, Writes   uint64
+	Invalidations   uint64
+	WriteBacks      uint64
+	Fetches         uint64
+	UpgradeMisses   uint64
+	CleanDowngrades uint64
+}
+
+// Stats returns the counters.
+func (d *Directory) Stats() DirectoryStats {
+	return DirectoryStats{
+		Reads: d.reads, Writes: d.writes,
+		Invalidations: d.invalidations, WriteBacks: d.writeBacks,
+		Fetches: d.fetches, UpgradeMisses: d.upgradeMisses,
+		CleanDowngrades: d.cleanDowngrades,
+	}
+}

@@ -1,0 +1,191 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func newDir(t *testing.T) *Directory {
+	t.Helper()
+	d, err := NewDirectory(2, 64) // CPU (0) + on-chip accelerator (1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestDirectoryValidation(t *testing.T) {
+	if _, err := NewDirectory(0, 64); err == nil {
+		t.Error("0 agents accepted")
+	}
+	if _, err := NewDirectory(65, 64); err == nil {
+		t.Error("65 agents accepted")
+	}
+	if _, err := NewDirectory(2, 48); err == nil {
+		t.Error("non-pow2 line accepted")
+	}
+}
+
+func TestReadSharing(t *testing.T) {
+	d := newDir(t)
+	a := d.Read(0, 0x1000)
+	if !a.Fetch || a.Invalidations != 0 || a.WriteBack {
+		t.Errorf("cold read action %+v", a)
+	}
+	if d.State(0x1000) != Shared || d.Sharers(0x1000) != 1 {
+		t.Errorf("state %v sharers %d", d.State(0x1000), d.Sharers(0x1000))
+	}
+	// Second agent reads: both share, one more fetch, no invalidation.
+	a = d.Read(1, 0x1000)
+	if !a.Fetch || a.Invalidations != 0 {
+		t.Errorf("second read action %+v", a)
+	}
+	if d.Sharers(0x1000) != 2 {
+		t.Errorf("sharers = %d, want 2", d.Sharers(0x1000))
+	}
+	// Re-read by a sharer is free.
+	a = d.Read(0, 0x1020) // same line
+	if a.Fetch {
+		t.Error("sharer re-read fetched")
+	}
+}
+
+func TestWriteInvalidatesSharers(t *testing.T) {
+	d := newDir(t)
+	d.Read(0, 0)
+	d.Read(1, 0)
+	a := d.Write(0, 0)
+	if a.Invalidations != 1 {
+		t.Errorf("invalidations = %d, want 1", a.Invalidations)
+	}
+	if a.Fetch {
+		t.Error("upgrading sharer fetched from memory")
+	}
+	if d.State(0) != Modified || d.Sharers(0) != 1 {
+		t.Errorf("state %v sharers %d after write", d.State(0), d.Sharers(0))
+	}
+	st := d.Stats()
+	if st.UpgradeMisses != 1 {
+		t.Errorf("upgrade misses = %d, want 1", st.UpgradeMisses)
+	}
+}
+
+func TestRemoteDirtyReadForcesWriteBack(t *testing.T) {
+	// The pattern behind GAM's forced write-backs: the CPU produced data
+	// (Modified), the accelerator reads it.
+	d := newDir(t)
+	d.Write(0, 0x40)
+	a := d.Read(1, 0x40)
+	if !a.WriteBack || !a.Fetch {
+		t.Errorf("remote dirty read action %+v, want writeback+fetch", a)
+	}
+	if d.State(0x40) != Shared || d.Sharers(0x40) != 2 {
+		t.Errorf("post-downgrade state %v/%d", d.State(0x40), d.Sharers(0x40))
+	}
+	if d.Stats().CleanDowngrades != 1 {
+		t.Error("downgrade not counted")
+	}
+}
+
+func TestWriteOverRemoteDirty(t *testing.T) {
+	d := newDir(t)
+	d.Write(0, 0)
+	a := d.Write(1, 0)
+	if !a.WriteBack || a.Invalidations != 1 || !a.Fetch {
+		t.Errorf("ownership transfer action %+v", a)
+	}
+	if d.State(0) != Modified {
+		t.Errorf("state %v", d.State(0))
+	}
+	// Repeated writes by the owner are silent.
+	a = d.Write(1, 0)
+	if a.WriteBack || a.Fetch || a.Invalidations != 0 {
+		t.Errorf("owner re-write action %+v", a)
+	}
+}
+
+func TestEvict(t *testing.T) {
+	d := newDir(t)
+	d.Write(0, 0)
+	if wb := d.Evict(0, 0); !wb {
+		t.Error("evicting Modified did not write back")
+	}
+	if d.State(0) != Invalid {
+		t.Errorf("state %v after eviction", d.State(0))
+	}
+	d.Read(0, 64)
+	d.Read(1, 64)
+	if wb := d.Evict(0, 64); wb {
+		t.Error("evicting Shared wrote back")
+	}
+	if d.Sharers(64) != 1 {
+		t.Errorf("sharers = %d after one eviction", d.Sharers(64))
+	}
+	if wb := d.Evict(1, 64); wb {
+		t.Error("clean eviction wrote back")
+	}
+	if d.State(64) != Invalid {
+		t.Error("line not Invalid after all evictions")
+	}
+	// Evicting a line you don't own is a no-op.
+	d.Write(0, 128)
+	if wb := d.Evict(1, 128); wb {
+		t.Error("non-owner eviction wrote back")
+	}
+}
+
+// Property: the directory's invariants hold under any access sequence —
+// Modified lines have exactly one sharer; Shared lines have ≥1; Invalid
+// have 0.
+func TestDirectoryInvariants(t *testing.T) {
+	f := func(ops []uint16) bool {
+		d, err := NewDirectory(4, 64)
+		if err != nil {
+			return false
+		}
+		touched := map[int64]bool{}
+		for _, op := range ops {
+			agent := int(op % 4)
+			addr := int64((op/4)%32) * 64
+			touched[addr] = true
+			switch (op / 128) % 3 {
+			case 0:
+				d.Read(agent, addr)
+			case 1:
+				d.Write(agent, addr)
+			default:
+				d.Evict(agent, addr)
+			}
+		}
+		for addr := range touched {
+			n := d.Sharers(addr)
+			switch d.State(addr) {
+			case Modified:
+				if n != 1 {
+					return false
+				}
+			case Shared:
+				if n < 1 {
+					return false
+				}
+			case Invalid:
+				if n != 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCoherenceStateString(t *testing.T) {
+	if Invalid.String() != "I" || Shared.String() != "S" || Modified.String() != "M" {
+		t.Error("state strings wrong")
+	}
+	if CoherenceState(9).String() == "" {
+		t.Error("unknown state empty")
+	}
+}

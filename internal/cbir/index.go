@@ -1,0 +1,156 @@
+package cbir
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/kernels"
+)
+
+// Index is the IVF index produced by the offline stage: k-means centroids,
+// precomputed ‖C_m‖² (the reusable term of Eq. 1), and per-cluster point
+// lists (the "cell info" of Table I).
+type Index struct {
+	Vectors      *kernels.Matrix // N × D, the database (resident "on SSD")
+	Centroids    *kernels.Matrix // M × D
+	CentroidsT   *kernels.Matrix // D × M, columnar layout for the GeMM
+	CentroidNorm []float32       // M, precomputed ‖C_m‖²
+	Lists        [][]int         // M, point IDs per cluster
+}
+
+// BuildIndex clusters the database into m cells.
+func BuildIndex(vectors *kernels.Matrix, m, kmeansIters int, seed int64) (*Index, error) {
+	km, err := KMeans(vectors, m, kmeansIters, seed)
+	if err != nil {
+		return nil, err
+	}
+	idx := &Index{
+		Vectors:      vectors,
+		Centroids:    km.Centroids,
+		CentroidsT:   km.Centroids.Transpose(),
+		CentroidNorm: make([]float32, m),
+		Lists:        make([][]int, m),
+	}
+	for c := 0; c < m; c++ {
+		idx.CentroidNorm[c] = kernels.SquaredNorm(km.Centroids.Row(c))
+	}
+	for i, c := range km.Assign {
+		idx.Lists[c] = append(idx.Lists[c], i)
+	}
+	return idx, nil
+}
+
+// M reports the cluster count.
+func (ix *Index) M() int { return ix.Centroids.Rows }
+
+// Shortlist returns, for each query in the batch, the `probes` cluster IDs
+// with the smallest Eq. 1 distances — the shortlist-retrieval stage. The
+// heavy lifting is one B×D × D×M GeMM, exactly the kernel mapped to the
+// near-memory accelerators.
+func (ix *Index) Shortlist(queries *kernels.Matrix, probes int) ([][]int, error) {
+	if probes <= 0 || probes > ix.M() {
+		return nil, fmt.Errorf("cbir: probes=%d invalid for M=%d", probes, ix.M())
+	}
+	dists := kernels.BatchDistances(queries, ix.CentroidsT, ix.CentroidNorm)
+	out := make([][]int, queries.Rows)
+	for b := 0; b < queries.Rows; b++ {
+		sel := kernels.NewTopK(probes)
+		row := dists.Row(b)
+		for m := range row {
+			sel.Offer(m, row[m])
+		}
+		res := sel.Results()
+		ids := make([]int, len(res))
+		for i, r := range res {
+			ids[i] = r.ID
+		}
+		out[b] = ids
+	}
+	return out, nil
+}
+
+// Candidates gathers up to maxCandidates point IDs from the probed
+// clusters, round-robin across clusters so each probed cell contributes —
+// the candidate-list formation of the rerank stage.
+func (ix *Index) Candidates(clusters []int, maxCandidates int) []int {
+	if maxCandidates <= 0 {
+		return nil
+	}
+	out := make([]int, 0, maxCandidates)
+	offsets := make([]int, len(clusters))
+	for len(out) < maxCandidates {
+		progress := false
+		for ci, c := range clusters {
+			if offsets[ci] >= len(ix.Lists[c]) {
+				continue
+			}
+			out = append(out, ix.Lists[c][offsets[ci]])
+			offsets[ci]++
+			progress = true
+			if len(out) == maxCandidates {
+				break
+			}
+		}
+		if !progress {
+			break // probed clusters exhausted
+		}
+	}
+	return out
+}
+
+// Rerank scores the candidates against the query with the exact Eq. 2
+// distance and returns the top-K — the near-storage stage.
+func (ix *Index) Rerank(query []float32, candidates []int, k int) []kernels.Neighbor {
+	sel := kernels.NewTopK(k)
+	for _, id := range candidates {
+		sel.Offer(id, kernels.SquaredL2(ix.Vectors.Row(id), query))
+	}
+	return sel.Results()
+}
+
+// SearchParams bundles the online-pipeline knobs.
+type SearchParams struct {
+	Probes     int
+	Candidates int
+	K          int
+}
+
+// Search runs shortlist → candidates → rerank for a batch of queries.
+func (ix *Index) Search(queries *kernels.Matrix, p SearchParams) ([][]kernels.Neighbor, error) {
+	shortlists, err := ix.Shortlist(queries, p.Probes)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]kernels.Neighbor, queries.Rows)
+	for b := 0; b < queries.Rows; b++ {
+		cands := ix.Candidates(shortlists[b], p.Candidates)
+		out[b] = ix.Rerank(queries.Row(b), cands, p.K)
+	}
+	return out, nil
+}
+
+// RecallAtK evaluates mean recall@K of the index against exhaustive search
+// over a batch of queries.
+func (ix *Index) RecallAtK(queries *kernels.Matrix, p SearchParams) (float64, error) {
+	found, err := ix.Search(queries, p)
+	if err != nil {
+		return 0, err
+	}
+	var sum float64
+	for b := 0; b < queries.Rows; b++ {
+		truth := kernels.BruteForceKNN(ix.Vectors, queries.Row(b), p.K)
+		sum += kernels.RecallAtK(found[b], truth)
+	}
+	return sum / float64(queries.Rows), nil
+}
+
+// ListSizeStats reports min/median/max cluster occupancy — used to check
+// the clustering is balanced enough for the per-DIMM partitioning.
+func (ix *Index) ListSizeStats() (minSize, median, maxSize int) {
+	sizes := make([]int, len(ix.Lists))
+	for i, l := range ix.Lists {
+		sizes[i] = len(l)
+	}
+	sort.Ints(sizes)
+	return sizes[0], sizes[len(sizes)/2], sizes[len(sizes)-1]
+}

@@ -1,0 +1,102 @@
+// Package cbir implements the content-based image retrieval pipeline of
+// the case study (paper §IV): offline k-means clustering of the feature
+// database, the IVF (inverted-file) index, batched shortlist retrieval via
+// the Eq. 1 decomposition, candidate gathering, KNN rerank via Eq. 2, and
+// recall evaluation against exhaustive search.
+package cbir
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/kernels"
+)
+
+// KMeansResult holds the offline clustering output.
+type KMeansResult struct {
+	Centroids  *kernels.Matrix // K × D
+	Assign     []int           // N, cluster per point
+	Iterations int             // iterations actually run
+	Moved      int             // points that changed cluster in the last iteration
+}
+
+// KMeans runs Lloyd's algorithm with k-means++ style seeding (first centre
+// uniform, subsequent centres from distinct random points) for at most
+// maxIters iterations, stopping early on convergence. Deterministic for a
+// given seed.
+func KMeans(data *kernels.Matrix, k, maxIters int, seed int64) (*KMeansResult, error) {
+	n, d := data.Rows, data.Cols
+	if k <= 0 || k > n {
+		return nil, fmt.Errorf("cbir: kmeans k=%d invalid for n=%d", k, n)
+	}
+	if maxIters <= 0 {
+		return nil, fmt.Errorf("cbir: kmeans needs maxIters >= 1")
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	// Seed centroids from distinct points.
+	centroids := kernels.NewMatrix(k, d)
+	perm := rng.Perm(n)
+	for c := 0; c < k; c++ {
+		copy(centroids.Row(c), data.Row(perm[c]))
+	}
+
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = -1
+	}
+	counts := make([]int, k)
+	res := &KMeansResult{Centroids: centroids, Assign: assign}
+
+	for iter := 0; iter < maxIters; iter++ {
+		moved := 0
+		// Assignment step.
+		for i := 0; i < n; i++ {
+			row := data.Row(i)
+			best, bestD := 0, kernels.SquaredL2(row, centroids.Row(0))
+			for c := 1; c < k; c++ {
+				if dist := kernels.SquaredL2(row, centroids.Row(c)); dist < bestD {
+					best, bestD = c, dist
+				}
+			}
+			if assign[i] != best {
+				moved++
+				assign[i] = best
+			}
+		}
+		res.Iterations = iter + 1
+		res.Moved = moved
+		if moved == 0 {
+			break
+		}
+		// Update step.
+		for i := range centroids.Data {
+			centroids.Data[i] = 0
+		}
+		for c := range counts {
+			counts[c] = 0
+		}
+		for i := 0; i < n; i++ {
+			c := assign[i]
+			counts[c]++
+			crow := centroids.Row(c)
+			drow := data.Row(i)
+			for j := range crow {
+				crow[j] += drow[j]
+			}
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster from a random point.
+				copy(centroids.Row(c), data.Row(rng.Intn(n)))
+				continue
+			}
+			inv := 1 / float32(counts[c])
+			crow := centroids.Row(c)
+			for j := range crow {
+				crow[j] *= inv
+			}
+		}
+	}
+	return res, nil
+}

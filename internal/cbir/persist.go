@@ -1,0 +1,136 @@
+package cbir
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/kernels"
+)
+
+// Index persistence: the offline stage (k-means over the full database) is
+// the expensive part of a CBIR deployment, and its artifacts — centroids,
+// norms, inverted lists — are exactly the fixed buffers the ReACH config
+// pins at each level (Listing 2 reads them from files like
+// "./feature_db0"). This file gives the index a compact binary
+// serialisation so deployments can build once and load per process.
+
+const (
+	indexMagic   = 0x52454143 // "REAC"
+	indexVersion = 1
+)
+
+// WriteTo serialises the index (centroids, norms, lists and the vector
+// store) to w. The format is little-endian with a magic/version header.
+func (ix *Index) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	put := func(vs ...any) error {
+		for _, v := range vs {
+			if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+				return err
+			}
+			n += int64(binary.Size(v))
+		}
+		return nil
+	}
+	header := []any{
+		uint32(indexMagic), uint32(indexVersion),
+		int64(ix.Vectors.Rows), int64(ix.Vectors.Cols), int64(ix.M()),
+	}
+	if err := put(header...); err != nil {
+		return n, err
+	}
+	if err := put(ix.Vectors.Data, ix.Centroids.Data, ix.CentroidNorm); err != nil {
+		return n, err
+	}
+	for _, list := range ix.Lists {
+		if err := put(int64(len(list))); err != nil {
+			return n, err
+		}
+		ids := make([]int64, len(list))
+		for i, id := range list {
+			ids[i] = int64(id)
+		}
+		if err := put(ids); err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// ReadIndex deserialises an index written by WriteTo.
+func ReadIndex(r io.Reader) (*Index, error) {
+	br := bufio.NewReader(r)
+	get := func(v any) error { return binary.Read(br, binary.LittleEndian, v) }
+
+	var magic, version uint32
+	if err := get(&magic); err != nil {
+		return nil, fmt.Errorf("cbir: reading index header: %w", err)
+	}
+	if magic != indexMagic {
+		return nil, fmt.Errorf("cbir: bad index magic %#x", magic)
+	}
+	if err := get(&version); err != nil {
+		return nil, err
+	}
+	if version != indexVersion {
+		return nil, fmt.Errorf("cbir: unsupported index version %d", version)
+	}
+	var rows, cols, m int64
+	for _, v := range []*int64{&rows, &cols, &m} {
+		if err := get(v); err != nil {
+			return nil, err
+		}
+	}
+	const maxDim = 1 << 32
+	if rows <= 0 || cols <= 0 || m <= 0 || rows > maxDim || cols > 1<<20 || m > rows {
+		return nil, fmt.Errorf("cbir: implausible index geometry %d×%d, M=%d", rows, cols, m)
+	}
+
+	ix := &Index{
+		Vectors:      kernels.NewMatrix(int(rows), int(cols)),
+		Centroids:    kernels.NewMatrix(int(m), int(cols)),
+		CentroidNorm: make([]float32, m),
+		Lists:        make([][]int, m),
+	}
+	if err := get(ix.Vectors.Data); err != nil {
+		return nil, fmt.Errorf("cbir: reading vectors: %w", err)
+	}
+	if err := get(ix.Centroids.Data); err != nil {
+		return nil, fmt.Errorf("cbir: reading centroids: %w", err)
+	}
+	if err := get(ix.CentroidNorm); err != nil {
+		return nil, fmt.Errorf("cbir: reading norms: %w", err)
+	}
+	total := int64(0)
+	for c := int64(0); c < m; c++ {
+		var l int64
+		if err := get(&l); err != nil {
+			return nil, fmt.Errorf("cbir: reading list %d: %w", c, err)
+		}
+		if l < 0 || total+l > rows {
+			return nil, fmt.Errorf("cbir: corrupt list sizes (list %d has %d, running total %d of %d)",
+				c, l, total, rows)
+		}
+		total += l
+		ids := make([]int64, l)
+		if err := get(ids); err != nil {
+			return nil, err
+		}
+		list := make([]int, l)
+		for i, id := range ids {
+			if id < 0 || id >= rows {
+				return nil, fmt.Errorf("cbir: list %d contains out-of-range id %d", c, id)
+			}
+			list[i] = int(id)
+		}
+		ix.Lists[c] = list
+	}
+	if total != rows {
+		return nil, fmt.Errorf("cbir: lists cover %d of %d vectors", total, rows)
+	}
+	ix.CentroidsT = ix.Centroids.Transpose()
+	return ix, nil
+}

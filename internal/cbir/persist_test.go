@@ -1,0 +1,113 @@
+package cbir
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestIndexRoundTrip(t *testing.T) {
+	ds := workload.Synthetic(workload.SyntheticParams{
+		N: 2000, D: 24, Clusters: 16, Spread: 0.08, Seed: 88,
+	})
+	orig, err := BuildIndex(ds.Vectors, 16, 20, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadIndex(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Structural equality.
+	if loaded.M() != orig.M() || loaded.Vectors.Rows != orig.Vectors.Rows {
+		t.Fatalf("geometry mismatch")
+	}
+	for i := range orig.Vectors.Data {
+		if loaded.Vectors.Data[i] != orig.Vectors.Data[i] {
+			t.Fatal("vector data mismatch")
+		}
+	}
+	for c := range orig.Lists {
+		if len(loaded.Lists[c]) != len(orig.Lists[c]) {
+			t.Fatalf("list %d length mismatch", c)
+		}
+		for i := range orig.Lists[c] {
+			if loaded.Lists[c][i] != orig.Lists[c][i] {
+				t.Fatalf("list %d entry %d mismatch", c, i)
+			}
+		}
+	}
+
+	// Behavioural equality: identical search results.
+	queries := ds.Queries(8, 0.02, 55)
+	p := SearchParams{Probes: 4, Candidates: 512, K: 10}
+	a, err := orig.Search(queries, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := loaded.Search(queries, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := range a {
+		for i := range a[q] {
+			if a[q][i] != b[q][i] {
+				t.Fatalf("query %d result %d differs after round trip", q, i)
+			}
+		}
+	}
+}
+
+func TestReadIndexRejectsCorruption(t *testing.T) {
+	ds := workload.Synthetic(workload.SyntheticParams{
+		N: 500, D: 8, Clusters: 4, Spread: 0.08, Seed: 3,
+	})
+	ix, err := BuildIndex(ds.Vectors, 4, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	cases := []struct {
+		name   string
+		mutate func([]byte) []byte
+		want   string
+	}{
+		{"bad magic", func(b []byte) []byte { b[0] ^= 0xff; return b }, "magic"},
+		{"bad version", func(b []byte) []byte { b[4] = 99; return b }, "version"},
+		{"truncated", func(b []byte) []byte { return b[:len(b)/2] }, ""},
+		{"absurd geometry", func(b []byte) []byte {
+			// rows field at offset 8: make it negative.
+			b[15] = 0xff
+			return b
+		}, "implausible"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			data := append([]byte(nil), good...)
+			data = tc.mutate(data)
+			_, err := ReadIndex(bytes.NewReader(data))
+			if err == nil {
+				t.Fatal("corrupt index accepted")
+			}
+			if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+	// The pristine copy still loads.
+	if _, err := ReadIndex(bytes.NewReader(good)); err != nil {
+		t.Errorf("pristine index rejected: %v", err)
+	}
+}

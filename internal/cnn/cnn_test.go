@@ -1,0 +1,197 @@
+package cnn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/kernels"
+)
+
+func TestVGG16Shape(t *testing.T) {
+	s := VGG16()
+	convs, pools, fcs := 0, 0, 0
+	for _, l := range s.Layers {
+		switch l.Kind {
+		case Conv:
+			convs++
+		case Pool:
+			pools++
+		case FC:
+			fcs++
+		}
+	}
+	if convs != 13 || pools != 5 || fcs != 3 {
+		t.Errorf("VGG16 layers = %d conv, %d pool, %d fc; want 13/5/3", convs, pools, fcs)
+	}
+}
+
+func TestVGG16MatchesPublishedTotals(t *testing.T) {
+	s := VGG16()
+	// ~138 M parameters.
+	params := s.TotalParams()
+	if params < 135_000_000 || params > 141_000_000 {
+		t.Errorf("VGG16 params = %d, want ~138M", params)
+	}
+	// 552 MB float32 (Table I; decimal megabytes).
+	bytes := s.ParamBytes()
+	if bytes < 545e6 || bytes > 560e6 {
+		t.Errorf("VGG16 param bytes = %d (%.1f MB), Table I says 552 MB", bytes, float64(bytes)/1e6)
+	}
+	// ~15.5 G multiply-accumulates per image (the commonly cited VGG16
+	// compute cost).
+	macs := s.TotalMACs()
+	if macs < 15.2e9 || macs > 15.8e9 {
+		t.Errorf("VGG16 MACs = %v, want ~15.5e9", macs)
+	}
+	// Compressed: ~11.3 MB (Table I).
+	cb := s.CompressedParamBytes()
+	if cb < 11.0e6 || cb > 11.6e6 {
+		t.Errorf("compressed params = %d (%.1f MB), Table I says 11.3 MB", cb, float64(cb)/1e6)
+	}
+}
+
+func TestVGG16LayerAccounting(t *testing.T) {
+	s := VGG16()
+	l := s.Layers[0] // conv1_1: 224×224, 3→64, 3×3
+	if got := l.MACs(); got != 224*224*3*64*9 {
+		t.Errorf("conv1_1 MACs = %v", got)
+	}
+	if got := l.Params(); got != 3*64*9+64 {
+		t.Errorf("conv1_1 params = %d", got)
+	}
+	if got := l.OutputElems(); got != 64*224*224 {
+		t.Errorf("conv1_1 output elems = %d", got)
+	}
+	if s.ActivationBytes() <= 0 {
+		t.Error("activation bytes not positive")
+	}
+	// fc6 dominates parameters: 25088×4096.
+	var fc6 LayerSpec
+	for _, l := range s.Layers {
+		if l.Name == "fc6" {
+			fc6 = l
+		}
+	}
+	if fc6.Params() != int64(25088)*4096+4096 {
+		t.Errorf("fc6 params = %d", fc6.Params())
+	}
+}
+
+func TestLayerKindStrings(t *testing.T) {
+	if Conv.String() != "Conv-ReLU" || Pool.String() != "Pool" || FC.String() != "FCN" {
+		t.Error("layer kind strings wrong")
+	}
+	if LayerKind(9).String() == "" {
+		t.Error("unknown kind empty")
+	}
+}
+
+func TestMiniVGGForwardShape(t *testing.T) {
+	spec := MiniVGG(16, 24)
+	net, err := NewNetwork(spec, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, h, w := net.InputShape()
+	if c != 3 || h != 16 || w != 16 {
+		t.Fatalf("input shape %d/%d/%d", c, h, w)
+	}
+	img := kernels.NewTensor3(3, 16, 16)
+	rng := rand.New(rand.NewSource(1))
+	for i := range img.Data {
+		img.Data[i] = rng.Float32()
+	}
+	out, err := net.Forward(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 24 {
+		t.Errorf("output dim = %d, want 24", len(out))
+	}
+}
+
+func TestForwardDeterministic(t *testing.T) {
+	spec := MiniVGG(16, 8)
+	n1, _ := NewNetwork(spec, 7)
+	n2, _ := NewNetwork(spec, 7)
+	img := kernels.NewTensor3(3, 16, 16)
+	for i := range img.Data {
+		img.Data[i] = float32(i%13) / 13
+	}
+	a, _ := n1.Forward(img)
+	b, _ := n2.Forward(img)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same-seed networks diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	n3, _ := NewNetwork(spec, 8)
+	c, _ := n3.Forward(img)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical outputs")
+	}
+}
+
+func TestForwardRejectsWrongShape(t *testing.T) {
+	net, _ := NewNetwork(MiniVGG(16, 8), 1)
+	if _, err := net.Forward(kernels.NewTensor3(3, 8, 8)); err == nil {
+		t.Error("wrong input shape accepted")
+	}
+}
+
+func TestNewNetworkRejectsBadSpec(t *testing.T) {
+	if _, err := NewNetwork(&Spec{Name: "empty"}, 1); err == nil {
+		t.Error("empty spec accepted")
+	}
+	bad := &Spec{Name: "fc-first", Layers: []LayerSpec{{Kind: FC, FCIn: 4, FCOut: 2}}}
+	if _, err := NewNetwork(bad, 1); err == nil {
+		t.Error("spec not starting with Conv accepted")
+	}
+}
+
+func TestFeatureExtractor(t *testing.T) {
+	net, _ := NewNetwork(MiniVGG(16, 32), 11)
+	fe := NewFeatureExtractor(net, 12, 13)
+	if fe.Dim() != 12 {
+		t.Fatalf("dim = %d", fe.Dim())
+	}
+	img := kernels.NewTensor3(3, 16, 16)
+	for i := range img.Data {
+		img.Data[i] = float32(i%7) / 7
+	}
+	feat, err := fe.Extract(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(feat) != 12 {
+		t.Fatalf("feature dim = %d", len(feat))
+	}
+	if n := kernels.SquaredNorm(feat); math.Abs(float64(n)-1) > 1e-5 {
+		t.Errorf("feature norm² = %v, want 1 (L2-normalised)", n)
+	}
+	// Distinct images produce distinct features.
+	img2 := kernels.NewTensor3(3, 16, 16)
+	for i := range img2.Data {
+		img2.Data[i] = float32((i+3)%11) / 11
+	}
+	feat2, _ := fe.Extract(img2)
+	if kernels.SquaredL2(feat, feat2) == 0 {
+		t.Error("distinct images mapped to identical features")
+	}
+}
+
+func TestMiniVGGPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MiniVGG(7) accepted")
+		}
+	}()
+	MiniVGG(7, 8)
+}

@@ -1,0 +1,160 @@
+package cnn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/kernels"
+)
+
+// Network is a runnable CNN: the functional counterpart of a Spec, holding
+// real parameters and executing real convolutions. The functional layer of
+// the simulator runs a reduced geometry (MiniVGG) so tests execute in
+// milliseconds; the timing layer always charges full VGG16 op counts.
+type Network struct {
+	Spec          *Spec
+	convParams    []*kernels.ConvParams // one per Conv layer, in order
+	fcWeights     []*kernels.Matrix     // one per FC layer, in order
+	fcBias        [][]float32
+	inC, inH, inW int
+}
+
+// MiniVGG returns a reduced VGG-style network spec for functional runs:
+// inputSize×inputSize×3 input, two conv blocks, one FC producing featDim
+// outputs.
+func MiniVGG(inputSize, featDim int) *Spec {
+	if inputSize < 8 || inputSize%4 != 0 {
+		panic(fmt.Sprintf("cnn: MiniVGG input size %d must be a multiple of 4, >= 8", inputSize))
+	}
+	s := &Spec{Name: fmt.Sprintf("MiniVGG-%d", inputSize)}
+	s.Layers = append(s.Layers,
+		LayerSpec{Name: "conv1_1", Kind: Conv, InH: inputSize, InW: inputSize, InC: 3, OutC: 8, KernelSize: 3},
+		LayerSpec{Name: "pool1", Kind: Pool, InH: inputSize, InW: inputSize, InC: 8},
+		LayerSpec{Name: "conv2_1", Kind: Conv, InH: inputSize / 2, InW: inputSize / 2, InC: 8, OutC: 16, KernelSize: 3},
+		LayerSpec{Name: "pool2", Kind: Pool, InH: inputSize / 2, InW: inputSize / 2, InC: 16},
+		LayerSpec{Name: "fc", Kind: FC, FCIn: 16 * (inputSize / 4) * (inputSize / 4), FCOut: featDim},
+	)
+	return s
+}
+
+// NewNetwork instantiates a runnable network from a spec with
+// deterministically seeded parameters (scaled Gaussian init). The spec's
+// first layer must be Conv; inH/inW are taken from it.
+func NewNetwork(spec *Spec, seed int64) (*Network, error) {
+	if len(spec.Layers) == 0 {
+		return nil, fmt.Errorf("cnn: empty spec %s", spec.Name)
+	}
+	first := spec.Layers[0]
+	if first.Kind != Conv {
+		return nil, fmt.Errorf("cnn: spec %s must start with a Conv layer", spec.Name)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := &Network{Spec: spec, inC: first.InC, inH: first.InH, inW: first.InW}
+	for _, l := range spec.Layers {
+		switch l.Kind {
+		case Conv:
+			p := kernels.NewConvParams(l.OutC, l.InC, l.KernelSize)
+			fanIn := float64(l.InC * l.KernelSize * l.KernelSize)
+			std := float32(math.Sqrt(2 / fanIn))
+			for i := range p.Weights {
+				p.Weights[i] = float32(rng.NormFloat64()) * std
+			}
+			n.convParams = append(n.convParams, p)
+		case FC:
+			w := kernels.NewMatrix(l.FCOut, l.FCIn)
+			std := float32(math.Sqrt(2 / float64(l.FCIn)))
+			for i := range w.Data {
+				w.Data[i] = float32(rng.NormFloat64()) * std
+			}
+			b := make([]float32, l.FCOut)
+			n.fcWeights = append(n.fcWeights, w)
+			n.fcBias = append(n.fcBias, b)
+		}
+	}
+	return n, nil
+}
+
+// InputShape reports the expected input tensor shape.
+func (n *Network) InputShape() (c, h, w int) { return n.inC, n.inH, n.inW }
+
+// Forward runs the network on one image and returns the final layer's
+// output vector. The input tensor shape must match the spec.
+func (n *Network) Forward(img *kernels.Tensor3) ([]float32, error) {
+	if img.C != n.inC || img.H != n.inH || img.W != n.inW {
+		return nil, fmt.Errorf("cnn: input shape %dx%dx%d, spec %s wants %dx%dx%d",
+			img.C, img.H, img.W, n.Spec.Name, n.inC, n.inH, n.inW)
+	}
+	act := img
+	var flat []float32
+	ci, fi := 0, 0
+	for _, l := range n.Spec.Layers {
+		switch l.Kind {
+		case Conv:
+			act = kernels.ReLU(kernels.Conv2D(act, n.convParams[ci]))
+			ci++
+		case Pool:
+			act = kernels.MaxPool2x2(act)
+		case FC:
+			if flat == nil {
+				flat = act.Data
+			}
+			if len(flat) != l.FCIn {
+				return nil, fmt.Errorf("cnn: FC %s input %d elems, want %d", l.Name, len(flat), l.FCIn)
+			}
+			flat = kernels.FullyConnected(flat, n.fcWeights[fi], n.fcBias[fi])
+			if fi < len(n.fcWeights)-1 {
+				for i, v := range flat {
+					if v < 0 {
+						flat[i] = 0
+					}
+				}
+			}
+			fi++
+		}
+	}
+	if flat == nil {
+		flat = act.Data
+	}
+	return flat, nil
+}
+
+// FeatureExtractor bundles a network with a PCA compression to the
+// retrieval dimensionality — the full feature-extraction pipeline of the
+// case study (VGGNet features + PCA to D=96, §IV-A).
+type FeatureExtractor struct {
+	Net        *Network
+	Mean       []float32
+	Components *kernels.Matrix // D_out × D_raw
+}
+
+// NewFeatureExtractor builds an extractor producing featDim-dimensional
+// descriptors with a deterministically seeded random projection standing in
+// for the offline-fitted PCA basis.
+func NewFeatureExtractor(net *Network, featDim int, seed int64) *FeatureExtractor {
+	last := net.Spec.Layers[len(net.Spec.Layers)-1]
+	rawDim := int(last.OutputElems())
+	rng := rand.New(rand.NewSource(seed))
+	comp := kernels.NewMatrix(featDim, rawDim)
+	std := float32(1 / math.Sqrt(float64(rawDim)))
+	for i := range comp.Data {
+		comp.Data[i] = float32(rng.NormFloat64()) * std
+	}
+	return &FeatureExtractor{
+		Net:        net,
+		Mean:       make([]float32, rawDim),
+		Components: comp,
+	}
+}
+
+// Extract produces the L2-normalised feature vector of one image.
+func (fe *FeatureExtractor) Extract(img *kernels.Tensor3) ([]float32, error) {
+	raw, err := fe.Net.Forward(img)
+	if err != nil {
+		return nil, err
+	}
+	return kernels.L2Normalize(kernels.PCAProject(raw, fe.Mean, fe.Components)), nil
+}
+
+// Dim reports the descriptor dimensionality.
+func (fe *FeatureExtractor) Dim() int { return fe.Components.Rows }

@@ -1,0 +1,131 @@
+package cnn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/kernels"
+)
+
+// Weight quantisation — the functional analogue of the deep-compression
+// pipeline [23] the paper cites for shrinking the 552 MB VGG16 parameters
+// to 11.3 MB of on-chip SRAM. This file implements symmetric per-layer
+// int8 weight quantisation with a dequantised forward path, so the
+// repository can measure what the compression does to feature quality
+// (and therefore retrieval), not just assume it.
+
+// QuantizedTensor is a symmetric int8 quantisation of a float tensor.
+type QuantizedTensor struct {
+	Scale float32 // real = Scale × int8
+	Data  []int8
+}
+
+// Quantize produces the int8 representation with the scale chosen from the
+// max absolute value.
+func Quantize(w []float32) *QuantizedTensor {
+	var maxAbs float32
+	for _, v := range w {
+		a := v
+		if a < 0 {
+			a = -a
+		}
+		if a > maxAbs {
+			maxAbs = a
+		}
+	}
+	q := &QuantizedTensor{Data: make([]int8, len(w))}
+	if maxAbs == 0 {
+		q.Scale = 1
+		return q
+	}
+	q.Scale = maxAbs / 127
+	inv := 1 / q.Scale
+	for i, v := range w {
+		r := v * inv
+		switch {
+		case r > 127:
+			r = 127
+		case r < -127:
+			r = -127
+		}
+		q.Data[i] = int8(math.RoundToEven(float64(r)))
+	}
+	return q
+}
+
+// Dequantize reconstructs float weights.
+func (q *QuantizedTensor) Dequantize() []float32 {
+	out := make([]float32, len(q.Data))
+	for i, v := range q.Data {
+		out[i] = float32(v) * q.Scale
+	}
+	return out
+}
+
+// Bytes reports the storage of the quantised form (1 byte per weight plus
+// the scale).
+func (q *QuantizedTensor) Bytes() int64 { return int64(len(q.Data)) + 4 }
+
+// MeanSquaredError reports the reconstruction error against the original.
+func (q *QuantizedTensor) MeanSquaredError(orig []float32) float64 {
+	if len(orig) != len(q.Data) {
+		panic("cnn: MSE length mismatch")
+	}
+	var sum float64
+	for i, v := range q.Data {
+		d := float64(float32(v)*q.Scale - orig[i])
+		sum += d * d
+	}
+	return sum / float64(len(orig))
+}
+
+// QuantizeNetwork returns a copy of the network with every conv and FC
+// weight tensor round-tripped through int8 — the network a compressed
+// deployment actually runs — plus the compressed parameter byte count.
+func QuantizeNetwork(n *Network) (*Network, int64, error) {
+	out, err := NewNetwork(n.Spec, 0)
+	if err != nil {
+		return nil, 0, err
+	}
+	var bytes int64
+	for i, p := range n.convParams {
+		q := Quantize(p.Weights)
+		bytes += q.Bytes()
+		dst := out.convParams[i]
+		copy(dst.Weights, q.Dequantize())
+		copy(dst.Bias, p.Bias)
+		bytes += int64(len(p.Bias)) * 4
+	}
+	for i, w := range n.fcWeights {
+		q := Quantize(w.Data)
+		bytes += q.Bytes()
+		copy(out.fcWeights[i].Data, q.Dequantize())
+		copy(out.fcBias[i], n.fcBias[i])
+		bytes += int64(len(n.fcBias[i])) * 4
+	}
+	return out, bytes, nil
+}
+
+// FeatureDrift measures how far the quantised network's features move from
+// the full-precision ones over a batch of images: the mean L2 distance
+// between normalised feature pairs. Small drift ⇒ retrieval quality is
+// preserved; large drift ⇒ recall suffers (the §IV-A compression
+// trade-off, measured at the network level).
+func FeatureDrift(full, quant *FeatureExtractor, images []*kernels.Tensor3) (float64, error) {
+	if len(images) == 0 {
+		return 0, fmt.Errorf("cnn: FeatureDrift needs images")
+	}
+	var sum float64
+	for _, img := range images {
+		a, err := full.Extract(img)
+		if err != nil {
+			return 0, err
+		}
+		b, err := quant.Extract(img)
+		if err != nil {
+			return 0, err
+		}
+		sum += math.Sqrt(float64(kernels.SquaredL2(a, b)))
+	}
+	return sum / float64(len(images)), nil
+}

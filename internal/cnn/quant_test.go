@@ -1,0 +1,131 @@
+package cnn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/kernels"
+)
+
+// testImages generates smooth deterministic images (the workload package
+// cannot be imported here: it depends on cnn).
+func testImages(n, size int, seed int64) []*kernels.Tensor3 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*kernels.Tensor3, n)
+	for b := range out {
+		img := kernels.NewTensor3(3, size, size)
+		cx, cy := rng.Float64()*float64(size), rng.Float64()*float64(size)
+		for i := range img.Data {
+			c := i / (size * size)
+			y := (i / size) % size
+			x := i % size
+			dx := (float64(x) - cx) / float64(size)
+			dy := (float64(y) - cy) / float64(size)
+			img.Data[i] = float32((0.5+float64(c)*0.2)/(1+8*(dx*dx+dy*dy))) +
+				float32(rng.NormFloat64()*0.02)
+		}
+		out[b] = img
+	}
+	return out
+}
+
+func TestQuantizeRoundTrip(t *testing.T) {
+	w := []float32{-1.0, -0.5, 0, 0.25, 0.999}
+	q := Quantize(w)
+	back := q.Dequantize()
+	for i := range w {
+		if d := math.Abs(float64(back[i] - w[i])); d > float64(q.Scale) {
+			t.Errorf("weight %d: %v → %v (err %.4f > scale %v)", i, w[i], back[i], d, q.Scale)
+		}
+	}
+	if q.Bytes() != int64(len(w))+4 {
+		t.Errorf("bytes = %d", q.Bytes())
+	}
+}
+
+func TestQuantizeZeroTensor(t *testing.T) {
+	q := Quantize(make([]float32, 8))
+	for _, v := range q.Dequantize() {
+		if v != 0 {
+			t.Fatal("zero tensor not preserved")
+		}
+	}
+}
+
+// Property: quantisation error is bounded by half a quantisation step per
+// weight, and the int8 values stay in [-127, 127].
+func TestQuantizeErrorBound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w := make([]float32, 64)
+		for i := range w {
+			w[i] = float32(rng.NormFloat64())
+		}
+		q := Quantize(w)
+		for _, v := range q.Data {
+			if v > 127 || v < -127 {
+				return false
+			}
+		}
+		halfStep := float64(q.Scale) * 0.51 // rounding slack
+		for i, back := range q.Dequantize() {
+			if math.Abs(float64(back-w[i])) > halfStep {
+				return false
+			}
+		}
+		return q.MeanSquaredError(w) <= halfStep*halfStep
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantizeNetworkCompressesAndPreservesFeatures(t *testing.T) {
+	spec := MiniVGG(16, 32)
+	net, err := NewNetwork(spec, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qnet, qbytes, err := QuantizeNetwork(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ~4x smaller than float32.
+	floatBytes := spec.ParamBytes()
+	ratio := float64(floatBytes) / float64(qbytes)
+	if ratio < 3.5 || ratio > 4.1 {
+		t.Errorf("compression = %.2fx, want ~4x for int8", ratio)
+	}
+
+	full := NewFeatureExtractor(net, 16, 5)
+	quant := NewFeatureExtractor(qnet, 16, 5)
+	images := testImages(6, 16, 9)
+	drift, err := FeatureDrift(full, quant, images)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unit-norm features: drift must be small but nonzero.
+	if drift <= 0 {
+		t.Error("quantisation produced zero drift; suspicious")
+	}
+	if drift > 0.5 {
+		t.Errorf("feature drift = %.3f, int8 should preserve features (< 0.5)", drift)
+	}
+	// The drift must be far below the distance between unrelated features.
+	a, _ := full.Extract(images[0])
+	b, _ := full.Extract(images[1])
+	unrelated := math.Sqrt(float64(kernels.SquaredL2(a, b)))
+	if drift >= unrelated/2 {
+		t.Errorf("drift %.3f not well below unrelated distance %.3f", drift, unrelated)
+	}
+}
+
+func TestFeatureDriftValidation(t *testing.T) {
+	net, _ := NewNetwork(MiniVGG(16, 8), 1)
+	fe := NewFeatureExtractor(net, 8, 2)
+	if _, err := FeatureDrift(fe, fe, nil); err == nil {
+		t.Error("empty image set accepted")
+	}
+}

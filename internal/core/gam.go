@@ -1,0 +1,328 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/accel"
+	"repro/internal/sim"
+)
+
+// GAM is the hardware global accelerator manager (paper §II-D, Fig. 5).
+// It owns a scheduling queue per compute level, a progress table of
+// running tasks with estimated wait times, and a status queue; it is the
+// single master of every accelerator in the hierarchy.
+type GAM struct {
+	sys *System
+
+	readyQ  map[accel.Level][]*TaskNode
+	claimed map[accel.Accelerator]*TaskNode
+	jobs    []*Job
+
+	dispatchArmed bool
+
+	// Stats — the observable behaviour of the Fig. 5 machinery.
+	stats GAMStats
+}
+
+// GAMStats counts the GAM's control-plane activity.
+type GAMStats struct {
+	JobsSubmitted   uint64
+	JobsCompleted   uint64
+	TasksDispatched uint64
+	CommandPackets  uint64 // ACC command packets sent
+	StatusPolls     uint64 // status request packets sent
+	Interrupts      uint64 // host interrupts on job completion
+	Transfers       uint64 // inter-level DMA transfers initiated
+}
+
+// ProgressEntry is one row of the progress table (Fig. 5e).
+type ProgressEntry struct {
+	Instance string
+	Task     string
+	Job      int
+	State    NodeState
+}
+
+func newGAM(s *System) *GAM {
+	return &GAM{
+		sys:     s,
+		readyQ:  make(map[accel.Level][]*TaskNode),
+		claimed: make(map[accel.Accelerator]*TaskNode),
+	}
+}
+
+// Stats returns a snapshot of the control-plane counters.
+func (g *GAM) Stats() GAMStats { return g.stats }
+
+// Progress returns the current progress table, sorted by instance name.
+func (g *GAM) Progress() []ProgressEntry {
+	var out []ProgressEntry
+	for acc, n := range g.claimed {
+		out = append(out, ProgressEntry{
+			Instance: acc.Name(),
+			Task:     n.Spec.Name,
+			Job:      n.job.ID,
+			State:    n.state,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Instance < out[j].Instance })
+	return out
+}
+
+// QueueDepth reports ready tasks waiting for a level.
+func (g *GAM) QueueDepth(l accel.Level) int { return len(g.readyQ[l]) }
+
+// Submit hands a job to the GAM. The host-side runtime sends the job as
+// ACC command packets (Fig. 5a); tasks with no dependencies become ready
+// immediately.
+func (g *GAM) Submit(j *Job) error {
+	if err := j.Validate(); err != nil {
+		return err
+	}
+	for _, n := range j.Nodes {
+		if err := g.sys.checkLevelPopulated(n.Level); err != nil {
+			return err
+		}
+		if n.Pin >= 0 && n.Pin >= g.sys.InstanceCount(n.Level) {
+			return fmt.Errorf("core: job %d task %q pinned to %v[%d], only %d instances",
+				j.ID, n.Spec.Name, n.Level, n.Pin, g.sys.InstanceCount(n.Level))
+		}
+	}
+	j.SubmittedAt = g.sys.eng.Now()
+	g.jobs = append(g.jobs, j)
+	g.stats.JobsSubmitted++
+	for _, n := range j.Nodes {
+		if n.deps == 0 {
+			g.markReady(n)
+		}
+	}
+	return nil
+}
+
+func (g *GAM) markReady(n *TaskNode) {
+	n.state = NodeReady
+	n.ReadyAt = g.sys.eng.Now()
+	g.readyQ[n.Level] = append(g.readyQ[n.Level], n)
+	g.armDispatch()
+}
+
+// armDispatch coalesces dispatch work into one event per instant.
+func (g *GAM) armDispatch() {
+	if g.dispatchArmed {
+		return
+	}
+	g.dispatchArmed = true
+	g.sys.eng.Schedule(0, func() {
+		g.dispatchArmed = false
+		g.dispatchAll()
+	})
+}
+
+// oldestOpenJob returns the first unfinished job (the gate used when
+// cross-job pipelining is disabled).
+func (g *GAM) oldestOpenJob() *Job {
+	for _, j := range g.jobs {
+		if !j.done {
+			return j
+		}
+	}
+	return nil
+}
+
+// dispatchAll drains every level's ready queue onto idle devices.
+func (g *GAM) dispatchAll() {
+	gate := (*Job)(nil)
+	if !g.sys.cfg.GAM.CrossJobPipelining {
+		gate = g.oldestOpenJob()
+	}
+	// Fixed level order keeps the simulation deterministic (map iteration
+	// order would otherwise vary run to run).
+	for _, level := range []accel.Level{accel.OnChip, accel.NearMemory, accel.NearStorage, accel.CPU} {
+		q := g.readyQ[level]
+		if len(q) == 0 {
+			continue
+		}
+		// Priority first, then oldest job (stable within a job): keeps
+		// early batches' later stages ahead of later batches' early
+		// stages, so pipeline fill does not starve in-flight queries, and
+		// lets a latency-sensitive tenant preempt queued bulk work.
+		sort.SliceStable(q, func(i, j int) bool {
+			if q[i].job.Priority != q[j].job.Priority {
+				return q[i].job.Priority > q[j].job.Priority
+			}
+			return q[i].job.ID < q[j].job.ID
+		})
+		var rest []*TaskNode
+		for _, n := range q {
+			if gate != nil && n.job != gate {
+				rest = append(rest, n)
+				continue
+			}
+			if now := g.sys.eng.Now(); n.NotBefore > now {
+				// Input still in flight: revisit when it lands.
+				g.sys.eng.At(n.NotBefore, g.armDispatch)
+				rest = append(rest, n)
+				continue
+			}
+			acc := g.pickIdle(level, n.Pin)
+			if acc == nil {
+				rest = append(rest, n)
+				continue
+			}
+			g.dispatch(n, acc)
+		}
+		g.readyQ[level] = rest
+	}
+}
+
+// pickIdle finds an unclaimed, idle instance at the level (honouring pins).
+func (g *GAM) pickIdle(l accel.Level, pin int) accel.Accelerator {
+	accs := g.sys.Accelerators(l)
+	if pin >= 0 {
+		a := accs[pin]
+		if _, busy := g.claimed[a]; !busy && a.BusyUntil() <= g.sys.eng.Now() {
+			return a
+		}
+		return nil
+	}
+	for _, a := range accs {
+		if _, busy := g.claimed[a]; !busy && a.BusyUntil() <= g.sys.eng.Now() {
+			return a
+		}
+	}
+	return nil
+}
+
+// dispatch sends one ACC command packet and arranges completion detection.
+func (g *GAM) dispatch(n *TaskNode, a accel.Accelerator) {
+	g.claimed[a] = n
+	n.state = NodeRunning
+	n.Instance = a.Name()
+	n.DispatchedAt = g.sys.eng.Now()
+	g.stats.TasksDispatched++
+	g.stats.CommandPackets++
+
+	cl := g.sys.gamCommandLatency()
+	estimate := a.Estimate(&n.Spec)
+	g.sys.eng.Schedule(cl, func() {
+		// Configure the fabric (partial reconfiguration when a different
+		// kernel was resident; the delay follows fpga.Fabric's setting —
+		// zero by default, as in the paper's evaluation §VI-A).
+		if _, err := a.Fabric().Load(n.Spec.Kernel); err != nil {
+			panic(fmt.Sprintf("core: kernel/device mismatch on %s: %v", a.Name(), err))
+		}
+		done, err := a.Execute(&n.Spec)
+		if err != nil {
+			// The GAM only dispatches to devices it observed idle; an
+			// execution refusal means the model's invariants are broken.
+			panic(fmt.Sprintf("core: dispatch invariant violated on %s: %v", a.Name(), err))
+		}
+		n.CompletedAt = done
+		if n.Level == accel.OnChip {
+			// On-chip accelerators are cache-coherent: completion is
+			// observed through the coherent flag without polling.
+			g.sys.eng.At(done+cl, func() { g.finish(n, a) })
+			return
+		}
+		// Memory/storage modules cannot interrupt the GAM (§II-D): poll
+		// at the estimated completion, and keep polling with refreshed
+		// wait estimates until the device reports done.
+		firstPoll := g.sys.eng.Now() + estimate
+		g.schedulePoll(n, a, firstPoll)
+	})
+}
+
+// schedulePoll sends a status request packet at pollAt.
+func (g *GAM) schedulePoll(n *TaskNode, a accel.Accelerator, pollAt sim.Time) {
+	cl := g.sys.gamCommandLatency()
+	if minAt := g.sys.eng.Now() + cl; pollAt < minAt {
+		pollAt = minAt
+	}
+	g.sys.eng.At(pollAt, func() {
+		g.stats.StatusPolls++
+		n.Polls++
+		if pollAt >= n.CompletedAt {
+			// Status packet returns "finished" with the output region
+			// address (Fig. 5b).
+			g.sys.eng.Schedule(cl, func() { g.finish(n, a) })
+			return
+		}
+		// Not finished: the device returns a refreshed wait time of
+		// remaining × (1+slack), updated in the progress table.
+		remaining := n.CompletedAt - pollAt
+		next := sim.Time(float64(remaining) * (1 + g.sys.cfg.GAM.StatusSlackFraction))
+		if next < cl {
+			next = cl
+		}
+		g.schedulePoll(n, a, pollAt+next)
+	})
+}
+
+// finish runs when the GAM observes a task's completion: it frees the
+// device, forwards outputs to dependents via inter-level DMA, and closes
+// the job when its last node completes.
+func (g *GAM) finish(n *TaskNode, a accel.Accelerator) {
+	n.state = NodeDone
+	n.DetectedAt = g.sys.eng.Now()
+	delete(g.claimed, a)
+
+	// Forward outputs to each dependent (stream enqueue, duplicated per
+	// destination for broadcast semantics).
+	for _, d := range n.dependents {
+		dep := d
+		var transferDone sim.Time
+		if n.OutBytes > 0 {
+			dstIdx := dep.Pin
+			if dstIdx < 0 {
+				dstIdx = 0
+			}
+			g.stats.Transfers++
+			transferDone = g.sys.Transfer(n.Level, dep.Level, dstIdx, n.OutBytes, n.Spec.Stage)
+		} else {
+			transferDone = g.sys.eng.Now()
+		}
+		g.sys.eng.At(transferDone, func() {
+			dep.deps--
+			if dep.deps == 0 {
+				g.markReady(dep)
+			}
+		})
+	}
+
+	if len(n.dependents) == 0 && n.SinkToHost && n.OutBytes > 0 {
+		// Terminal node with a Collect stream back to the host: the job
+		// isn't complete until the result lands in host memory.
+		g.stats.Transfers++
+		collected := g.sys.Transfer(n.Level, accel.CPU, 0, n.OutBytes, n.Spec.Stage)
+		g.sys.eng.At(collected, func() { g.closeNode(n) })
+		g.armDispatch()
+		return
+	}
+	g.closeNode(n)
+	g.armDispatch()
+}
+
+// closeNode retires a finished node and completes the job when it was the
+// last one.
+func (g *GAM) closeNode(n *TaskNode) {
+	j := n.job
+	j.remaining--
+	if j.remaining == 0 {
+		// Interrupt the host (Fig. 6 step 3).
+		cl := g.sys.gamCommandLatency()
+		g.stats.Interrupts++
+		g.sys.eng.Schedule(cl, func() {
+			j.done = true
+			j.FinishedAt = g.sys.eng.Now()
+			g.stats.JobsCompleted++
+			if j.onDone != nil {
+				j.onDone(j)
+			}
+			// A finished job may unblock the next one when cross-job
+			// pipelining is disabled.
+			g.armDispatch()
+		})
+	}
+	g.armDispatch()
+}

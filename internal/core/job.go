@@ -1,0 +1,175 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/accel"
+	"repro/internal/sim"
+)
+
+// NodeState tracks a task node through the GAM.
+type NodeState int
+
+const (
+	// NodePending: dependencies outstanding.
+	NodePending NodeState = iota
+	// NodeReady: in the scheduling queue.
+	NodeReady
+	// NodeRunning: dispatched to a device.
+	NodeRunning
+	// NodeDone: completed and outputs forwarded.
+	NodeDone
+)
+
+func (s NodeState) String() string {
+	switch s {
+	case NodePending:
+		return "pending"
+	case NodeReady:
+		return "ready"
+	case NodeRunning:
+		return "running"
+	case NodeDone:
+		return "done"
+	default:
+		return fmt.Sprintf("NodeState(%d)", int(s))
+	}
+}
+
+// TaskNode is one schedulable task within a job: an accelerator task spec,
+// its target compute level, and its dependencies. All nodes of a job share
+// the job's software thread (the paper's task group).
+type TaskNode struct {
+	Spec  accel.Task
+	Level accel.Level
+	// Pin >= 0 forces a specific instance index at the level; -1 lets GAM
+	// pick any idle instance.
+	Pin int
+	// OutBytes is the payload DMAed to each dependent on completion (a
+	// stream enqueue). The transfer is charged once per dependent
+	// (broadcast/collect duplication, §III-B).
+	OutBytes int64
+	// NotBefore delays dispatch until the given simulated time — used for
+	// tasks whose host-side input (a CPU→level stream enqueue) is still in
+	// flight.
+	NotBefore sim.Time
+	// SinkToHost marks a terminal node whose OutBytes are collected back
+	// to the CPU before the job can complete (a Collect stream ending at
+	// the host).
+	SinkToHost bool
+
+	job        *Job
+	deps       int
+	dependents []*TaskNode
+	state      NodeState
+
+	// Timeline, filled in by the GAM.
+	ReadyAt      sim.Time
+	DispatchedAt sim.Time
+	CompletedAt  sim.Time // device-side completion
+	DetectedAt   sim.Time // GAM learns of completion (poll / interrupt)
+	Instance     string   // device the task ran on
+	Polls        int      // status packets it took to observe completion
+}
+
+// State reports the node's scheduling state.
+func (n *TaskNode) State() NodeState { return n.state }
+
+// Job is one request from the host application (one query batch in the
+// case study): a DAG of task nodes the GAM decomposes and schedules.
+type Job struct {
+	ID    int
+	Nodes []*TaskNode
+	// Priority orders dispatch between jobs contending for the same
+	// level: higher first, ties by submission order. The knob behind
+	// §III's "allow GAM to balance the hardware resources during
+	// runtime" in multi-tenant deployments.
+	Priority int
+
+	remaining int
+	// SubmittedAt/FinishedAt bound the job's latency.
+	SubmittedAt sim.Time
+	FinishedAt  sim.Time
+	done        bool
+	onDone      func(*Job)
+}
+
+// NewJob creates an empty job.
+func NewJob(id int) *Job {
+	return &Job{ID: id}
+}
+
+// AddTask appends a node with dependencies on the given prior nodes (all
+// must belong to this job).
+func (j *Job) AddTask(spec accel.Task, level accel.Level, deps ...*TaskNode) *TaskNode {
+	n := &TaskNode{
+		Spec:  spec,
+		Level: level,
+		Pin:   -1,
+		job:   j,
+	}
+	for _, d := range deps {
+		if d == nil {
+			continue
+		}
+		if d.job != j {
+			panic("core: cross-job dependency")
+		}
+		d.dependents = append(d.dependents, n)
+		n.deps++
+	}
+	j.Nodes = append(j.Nodes, n)
+	j.remaining++
+	return n
+}
+
+// Done reports whether every node completed.
+func (j *Job) Done() bool { return j.done }
+
+// Latency reports submission-to-finish time (zero before completion).
+func (j *Job) Latency() sim.Time {
+	if !j.done {
+		return 0
+	}
+	return j.FinishedAt - j.SubmittedAt
+}
+
+// OnDone registers a completion callback (fired at finish time).
+func (j *Job) OnDone(fn func(*Job)) { j.onDone = fn }
+
+// Validate checks the job is non-empty and acyclic (DAG check via Kahn's
+// algorithm over the declared dependencies).
+func (j *Job) Validate() error {
+	if len(j.Nodes) == 0 {
+		return fmt.Errorf("core: job %d has no tasks", j.ID)
+	}
+	indeg := make(map[*TaskNode]int, len(j.Nodes))
+	for _, n := range j.Nodes {
+		if err := n.Spec.Validate(); err != nil {
+			return fmt.Errorf("core: job %d: %w", j.ID, err)
+		}
+		indeg[n] = n.deps
+	}
+	var queue []*TaskNode
+	for _, n := range j.Nodes {
+		if indeg[n] == 0 {
+			queue = append(queue, n)
+		}
+	}
+	seen := 0
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		seen++
+		for _, d := range n.dependents {
+			indeg[d]--
+			if indeg[d] == 0 {
+				queue = append(queue, d)
+			}
+		}
+	}
+	if seen != len(j.Nodes) {
+		return fmt.Errorf("core: job %d dependency graph has a cycle", j.ID)
+	}
+	return nil
+}

@@ -1,0 +1,145 @@
+// Package core implements the paper's primary contribution: the ReACH
+// system assembly and its hardware Global Accelerator Manager (GAM,
+// §II-D). The GAM receives job requests from the host, breaks them into
+// task groups, dispatches tasks to idle accelerators at their mapped
+// compute level, tracks progress with estimated-wait status polling (the
+// Fig. 5 micro-architecture), initiates the inter-level DMA transfers
+// between dependent tasks, and pipelines tasks of consecutive jobs when no
+// dependency exists — which is what turns the three-stage CBIR pipeline
+// into a throughput machine bounded by its slowest stage.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/accel"
+	"repro/internal/config"
+	"repro/internal/energy"
+	"repro/internal/fpga"
+	"repro/internal/sim"
+)
+
+// System is one simulated ReACH server: the platform hardware, the
+// accelerator instances of each level, and the GAM.
+type System struct {
+	eng      *sim.Engine
+	cfg      config.SystemConfig
+	meter    *energy.Meter
+	plat     *accel.Platform
+	registry *fpga.Registry
+
+	onChip   []*accel.OnChipAccel
+	nearMem  []*accel.NearMemAccel
+	nearStor []*accel.NearStorAccel
+
+	gam *GAM
+}
+
+// NewSystem builds a system per cfg, instantiating cfg.Instances
+// accelerators at each level.
+func NewSystem(cfg config.SystemConfig) (*System, error) {
+	eng := sim.NewEngine()
+	meter := energy.NewMeter(energy.DefaultCosts())
+	plat, err := accel.NewPlatform(eng, cfg, meter)
+	if err != nil {
+		return nil, err
+	}
+	s := &System{
+		eng:      eng,
+		cfg:      cfg,
+		meter:    meter,
+		plat:     plat,
+		registry: fpga.NewRegistry(),
+	}
+	for i := 0; i < cfg.Instances.OnChip; i++ {
+		s.onChip = append(s.onChip, plat.NewOnChip())
+	}
+	for i := 0; i < cfg.Instances.NearMemory; i++ {
+		a, err := plat.NewNearMem(i)
+		if err != nil {
+			return nil, err
+		}
+		s.nearMem = append(s.nearMem, a)
+	}
+	for i := 0; i < cfg.Instances.NearStorage; i++ {
+		a, err := plat.NewNearStor(i)
+		if err != nil {
+			return nil, err
+		}
+		s.nearStor = append(s.nearStor, a)
+	}
+	s.gam = newGAM(s)
+	return s, nil
+}
+
+// Engine exposes the simulation engine.
+func (s *System) Engine() *sim.Engine { return s.eng }
+
+// Config reports the system configuration.
+func (s *System) Config() config.SystemConfig { return s.cfg }
+
+// Meter exposes the energy meter.
+func (s *System) Meter() *energy.Meter { return s.meter }
+
+// Platform exposes the shared hardware.
+func (s *System) Platform() *accel.Platform { return s.plat }
+
+// Registry exposes the accelerator-template registry.
+func (s *System) Registry() *fpga.Registry { return s.registry }
+
+// GAM exposes the global accelerator manager.
+func (s *System) GAM() *GAM { return s.gam }
+
+// Accelerators returns the instances at one level.
+func (s *System) Accelerators(l accel.Level) []accel.Accelerator {
+	switch l {
+	case accel.OnChip:
+		out := make([]accel.Accelerator, len(s.onChip))
+		for i, a := range s.onChip {
+			out[i] = a
+		}
+		return out
+	case accel.NearMemory:
+		out := make([]accel.Accelerator, len(s.nearMem))
+		for i, a := range s.nearMem {
+			out[i] = a
+		}
+		return out
+	case accel.NearStorage:
+		out := make([]accel.Accelerator, len(s.nearStor))
+		for i, a := range s.nearStor {
+			out[i] = a
+		}
+		return out
+	default:
+		return nil
+	}
+}
+
+// InstanceCount reports the accelerator population at a level.
+func (s *System) InstanceCount(l accel.Level) int {
+	return len(s.Accelerators(l))
+}
+
+// Run drains the simulation calendar.
+func (s *System) Run() { s.eng.Run() }
+
+// Background charges the DRAM/SSD background energy for the elapsed
+// simulated window, attributed to the given stage label. Call once per
+// experiment after Run.
+func (s *System) Background(stage string, window sim.Time) {
+	dimms := s.cfg.Memory.HostDIMMs + s.cfg.Memory.NearMemDIMMs
+	s.meter.AddBackground(stage, dimms, s.cfg.Storage.SSDs, window)
+}
+
+// gamCommandLatency is the GAM↔device command/status packet latency.
+func (s *System) gamCommandLatency() sim.Time {
+	return sim.FromSeconds(s.cfg.GAM.CommandLatencyNS * 1e-9)
+}
+
+func (s *System) checkLevelPopulated(l accel.Level) error {
+	if s.InstanceCount(l) == 0 {
+		return fmt.Errorf("core: no accelerator instances at level %v", l)
+	}
+	return nil
+}

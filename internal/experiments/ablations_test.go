@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestAblationGAM(t *testing.T) {
+	r, err := AblationGAM(workload.DefaultModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := r.Cells[0]
+	byName := map[string]*GAMAblationCell{}
+	for _, c := range r.Cells {
+		byName[c.Variant.Name] = c
+	}
+	// Disabling cross-job pipelining must cost throughput (§II-D: "reduces
+	// idle time and improves the pipeline efficiency").
+	noPipe := byName["no cross-job pipelining"]
+	if noPipe.Throughput >= base.Throughput*0.95 {
+		t.Errorf("no-pipelining throughput %.2f not clearly below baseline %.2f",
+			noPipe.Throughput, base.Throughput)
+	}
+	// Looser polling slack means the GAM observes completions later.
+	tight := byName["tight polling (1% slack)"]
+	loose := byName["loose polling (100% slack)"]
+	if tight.MeanDetectLag >= loose.MeanDetectLag {
+		t.Errorf("tight slack detect lag (%v) not below loose slack (%v)",
+			tight.MeanDetectLag, loose.MeanDetectLag)
+	}
+	// ...and looser polling must not beat the baseline on latency.
+	if loose.Latency < base.Latency {
+		t.Errorf("loose polling latency %v beat baseline %v", loose.Latency, base.Latency)
+	}
+	if err := r.Table().Render(&strings.Builder{}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAblationMappingFindsReACH(t *testing.T) {
+	r, err := AblationMapping(workload.DefaultModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Cells) != 27 {
+		t.Fatalf("evaluated %d mappings, want 27", len(r.Cells))
+	}
+	// The quantitative version of §IV-B: the paper's mapping wins the
+	// throughput ranking.
+	best := r.Best()
+	if best.Mapping != ReACHMapping() {
+		t.Errorf("best mapping is %s, want the ReACH mapping", best.Name())
+	}
+	// And it beats each single-level option decisively.
+	reach := r.Find(ReACHMapping())
+	for _, l := range []Mapping{SingleLevel(best.Mapping.FE), SingleLevel(best.Mapping.SL), SingleLevel(best.Mapping.RR)} {
+		c := r.Find(l)
+		if c == nil {
+			t.Fatalf("mapping %v missing", l)
+		}
+		if c.Throughput >= reach.Throughput {
+			t.Errorf("single-level %s throughput %.2f >= ReACH %.2f",
+				c.Name(), c.Throughput, reach.Throughput)
+		}
+	}
+	var sb strings.Builder
+	if err := r.Table().Render(&sb); err != nil {
+		t.Error(err)
+	}
+	if !strings.Contains(sb.String(), "FE:OnChip SL:NearMem RR:NearStor") {
+		t.Error("table does not show the ReACH mapping")
+	}
+}
+
+func TestAblationNSBuffer(t *testing.T) {
+	r, err := AblationNSBuffer(workload.DefaultModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Cells) != 5 {
+		t.Fatalf("%d cells, want 5", len(r.Cells))
+	}
+	// Monotone: lower hit ratio → no faster, strictly more SSD energy at
+	// the extremes.
+	for i := 1; i < len(r.Cells); i++ {
+		if r.Cells[i].Runtime < r.Cells[i-1].Runtime {
+			t.Errorf("hit %.2f runtime %v faster than hit %.2f (%v)",
+				r.Cells[i].HitRatio, r.Cells[i].Runtime,
+				r.Cells[i-1].HitRatio, r.Cells[i-1].Runtime)
+		}
+	}
+	full, none := r.Cells[0], r.Cells[len(r.Cells)-1]
+	if none.SSDJ <= full.SSDJ {
+		t.Errorf("no-buffer SSD energy (%v) not above full-buffer (%v)", none.SSDJ, full.SSDJ)
+	}
+	if none.Runtime <= full.Runtime {
+		t.Errorf("no-buffer runtime (%v) not above full-buffer (%v)", none.Runtime, full.Runtime)
+	}
+	if err := r.Table().Render(&strings.Builder{}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,31 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestDebugDump prints the main figures when -v is set; it never fails.
+// Kept as a diagnostic aid for calibration work.
+func TestDebugDump(t *testing.T) {
+	if !testing.Verbose() {
+		t.Skip("run with -v for the dump")
+	}
+	m := workload.DefaultModel()
+	if r, err := Fig12(m); err == nil {
+		r.Table().Render(os.Stdout)
+	} else {
+		t.Log(err)
+	}
+	if r, err := Fig13(m); err == nil {
+		r.Table().Render(os.Stdout)
+		for i, c := range r.Cells {
+			t.Logf("%s: tput=%.3f b/s lat=%v energy=%.1fJ", c.Option.Name, c.Throughput, c.Latency, c.TotalEnergyJ)
+			_ = i
+		}
+	} else {
+		t.Log(err)
+	}
+}

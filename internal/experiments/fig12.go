@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/accel"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Fig12Cell is one bar of Fig. 12: the end-to-end pipeline on a single
+// compute level with n instances, decomposed by stage.
+type Fig12Cell struct {
+	Level        accel.Level
+	Instances    int
+	StageRuntime map[string]sim.Time
+	StageEnergy  map[string]float64
+	Runtime      sim.Time
+	EnergyJ      float64
+}
+
+// Fig12Result holds the whole figure, normalised to the on-chip baseline.
+type Fig12Result struct {
+	Cells    []*Fig12Cell
+	Baseline *Fig12Cell // on-chip, 1 instance
+}
+
+// Fig12Counts is the figure's instance axis.
+func Fig12Counts() []int { return []int{1, 2, 4} }
+
+// Fig12 runs the end-to-end CBIR pipeline on each single compute level at
+// 1, 2 and 4 instances (the paper reserves half the DIMMs for the host, so
+// near-memory scales to 4).
+func Fig12(m workload.Model) (*Fig12Result, error) {
+	res := &Fig12Result{}
+	runCell := func(l accel.Level, n int) (*Fig12Cell, error) {
+		run, err := RunPipeline(m, SingleLevel(l), n, 1)
+		if err != nil {
+			return nil, err
+		}
+		cell := &Fig12Cell{
+			Level:        l,
+			Instances:    n,
+			StageRuntime: run.StageSpan,
+			StageEnergy:  make(map[string]float64),
+			Runtime:      run.Latency,
+		}
+		meter := run.Sys.Meter()
+		for _, st := range Stages() {
+			cell.StageEnergy[st] = meter.Stage(st)
+			cell.EnergyJ += meter.Stage(st)
+		}
+		return cell, nil
+	}
+
+	base, err := runCell(accel.OnChip, 1)
+	if err != nil {
+		return nil, err
+	}
+	res.Baseline = base
+	for _, n := range Fig12Counts() {
+		for _, l := range []accel.Level{accel.OnChip, accel.NearMemory, accel.NearStorage} {
+			if l == accel.OnChip {
+				// The on-chip bar does not scale with n (one instance).
+				res.Cells = append(res.Cells, base)
+				continue
+			}
+			cell, err := runCell(l, n)
+			if err != nil {
+				return nil, err
+			}
+			res.Cells = append(res.Cells, cell)
+		}
+	}
+	return res, nil
+}
+
+// Table renders Fig. 12: normalised runtime and energy per (level,
+// instances), stacked by stage.
+func (r *Fig12Result) Table() *report.Table {
+	t := &report.Table{
+		Title: "Fig 12 — end-to-end CBIR on a single compute level (normalised to on-chip)",
+		Columns: []string{"ACCs", "Level", "Runtime", "Energy",
+			"FE ms", "SL ms", "RR ms"},
+	}
+	for _, c := range r.Cells {
+		t.AddRow(
+			fmt.Sprintf("%d", c.Instances),
+			c.Level.String(),
+			report.F(float64(c.Runtime)/float64(r.Baseline.Runtime), 2),
+			report.F(c.EnergyJ/r.Baseline.EnergyJ, 2),
+			report.F(c.StageRuntime[StageFE].Milliseconds(), 1),
+			report.F(c.StageRuntime[StageSL].Milliseconds(), 1),
+			report.F(c.StageRuntime[StageRR].Milliseconds(), 1),
+		)
+	}
+	t.AddNote("on-chip baseline: %.1f ms, %.2f J per batch",
+		r.Baseline.Runtime.Milliseconds(), r.Baseline.EnergyJ)
+	return t
+}

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"repro/internal/accel"
+	"repro/internal/energy"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Fig13Option is one of the four acceleration options compared in Fig. 13.
+type Fig13Option struct {
+	Name    string
+	Mapping Mapping
+	// Instances is the near-data population (the §VI-C setup: 4 NM DIMMs
+	// and 4 SSDs paired with FPGAs).
+	Instances int
+}
+
+// Fig13Options returns the paper's four configurations.
+func Fig13Options() []Fig13Option {
+	return []Fig13Option{
+		{Name: "onchip", Mapping: SingleLevel(accel.OnChip), Instances: 1},
+		{Name: "near mem", Mapping: SingleLevel(accel.NearMemory), Instances: 4},
+		{Name: "near store", Mapping: SingleLevel(accel.NearStorage), Instances: 4},
+		{Name: "ReACH", Mapping: ReACHMapping(), Instances: 4},
+	}
+}
+
+// Fig13Cell holds one option's measurements.
+type Fig13Cell struct {
+	Option     Fig13Option
+	Throughput float64 // batches per second, steady state
+	Latency    sim.Time
+	// EnergyPerBatch is the per-component breakdown (Fig. 13c).
+	EnergyPerBatch map[energy.Component]float64
+	TotalEnergyJ   float64
+}
+
+// Fig13Result holds the figure's three panels.
+type Fig13Result struct {
+	Cells []*Fig13Cell
+}
+
+// Fig13Batches is the number of pipelined batches used to measure steady
+// state.
+const Fig13Batches = 8
+
+// Fig13 compares on-chip, near-memory, near-storage and the ReACH mapping
+// on throughput (a), query latency (b) and energy per component (c).
+func Fig13(m workload.Model) (*Fig13Result, error) {
+	res := &Fig13Result{}
+	for _, opt := range Fig13Options() {
+		run, err := RunPipeline(m, opt.Mapping, opt.Instances, Fig13Batches)
+		if err != nil {
+			return nil, err
+		}
+		cell := &Fig13Cell{
+			Option:         opt,
+			Throughput:     run.ThroughputBatchesPerSec(),
+			Latency:        run.Latency,
+			EnergyPerBatch: make(map[energy.Component]float64),
+		}
+		for _, c := range energy.Components() {
+			v := run.EnergyPerBatch(c)
+			cell.EnergyPerBatch[c] = v
+			cell.TotalEnergyJ += v
+		}
+		res.Cells = append(res.Cells, cell)
+	}
+	return res, nil
+}
+
+// baseline returns the on-chip cell.
+func (r *Fig13Result) baseline() *Fig13Cell { return r.Cells[0] }
+
+// ThroughputGain reports option i's throughput over on-chip (Fig. 13a).
+func (r *Fig13Result) ThroughputGain(i int) float64 {
+	return r.Cells[i].Throughput / r.baseline().Throughput
+}
+
+// LatencyGain reports on-chip latency over option i's (Fig. 13b —
+// improvement factor).
+func (r *Fig13Result) LatencyGain(i int) float64 {
+	return float64(r.baseline().Latency) / float64(r.Cells[i].Latency)
+}
+
+// EnergyReduction reports 1 − energy(option)/energy(on-chip).
+func (r *Fig13Result) EnergyReduction(i int) float64 {
+	return 1 - r.Cells[i].TotalEnergyJ/r.baseline().TotalEnergyJ
+}
+
+// ReACH returns the ReACH cell index.
+func (r *Fig13Result) ReACH() int { return len(r.Cells) - 1 }
+
+// Table renders the three panels.
+func (r *Fig13Result) Table() *report.Table {
+	t := &report.Table{
+		Title: "Fig 13 — CBIR on ReACH vs single-level acceleration",
+		Columns: []string{"Option", "Throughput x", "Latency x", "Energy J/batch",
+			"ACC", "Cache", "DRAM", "SSD", "MC+IC", "PCIe"},
+	}
+	for i, c := range r.Cells {
+		row := []string{
+			c.Option.Name,
+			report.F(r.ThroughputGain(i), 2),
+			report.F(r.LatencyGain(i), 2),
+			report.F(c.TotalEnergyJ, 1),
+		}
+		for _, comp := range energy.Components() {
+			row = append(row, report.F(c.EnergyPerBatch[comp], 2))
+		}
+		t.AddRow(row...)
+	}
+	i := r.ReACH()
+	t.AddNote("ReACH: %.2fx throughput (paper: 4.5x), %.2fx latency (paper: 2.2x), %s energy reduction (paper: 52%%)",
+		r.ThroughputGain(i), r.LatencyGain(i), report.Pct(r.EnergyReduction(i)))
+	return t
+}

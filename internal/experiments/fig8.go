@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"repro/internal/accel"
+	"repro/internal/energy"
+	"repro/internal/report"
+	"repro/internal/workload"
+)
+
+// Fig8Result is the energy breakdown of the on-chip-only CBIR pipeline:
+// the left chart (component × stage stacking) and the right chart (per
+// stage compute vs data movement shares).
+type Fig8Result struct {
+	Run *RunResult
+	// ComponentStage[c][stage] is joules per batch.
+	ComponentStage map[energy.Component]map[string]float64
+	// StageCompute/StageMovement are each stage's share of total energy.
+	StageCompute  map[string]float64
+	StageMovement map[string]float64
+	TotalJ        float64
+	MovementShare float64
+}
+
+// Fig8 runs the end-to-end CBIR pipeline on the on-chip accelerator only
+// and reports the energy distribution (paper: ~79 % movement; rerank
+// movement ~52 % of total).
+func Fig8(m workload.Model) (*Fig8Result, error) {
+	run, err := RunPipeline(m, SingleLevel(accel.OnChip), 1, 1)
+	if err != nil {
+		return nil, err
+	}
+	meter := run.Sys.Meter()
+	res := &Fig8Result{
+		Run:            run,
+		ComponentStage: make(map[energy.Component]map[string]float64),
+		StageCompute:   make(map[string]float64),
+		StageMovement:  make(map[string]float64),
+	}
+	res.TotalJ = meter.Total() - meter.Stage("Setup")
+	for _, c := range energy.Components() {
+		res.ComponentStage[c] = make(map[string]float64)
+		for _, st := range Stages() {
+			res.ComponentStage[c][st] = meter.ComponentStage(c, st)
+		}
+	}
+	for _, st := range Stages() {
+		res.StageCompute[st] = meter.StageKind(st, energy.Compute) / res.TotalJ
+		res.StageMovement[st] = meter.StageKind(st, energy.Movement) / res.TotalJ
+	}
+	var movement float64
+	for _, st := range Stages() {
+		movement += meter.StageKind(st, energy.Movement)
+	}
+	res.MovementShare = movement / res.TotalJ
+	return res, nil
+}
+
+// Table renders the Fig. 8 breakdown.
+func (r *Fig8Result) Table() *report.Table {
+	t := &report.Table{
+		Title:   "Fig 8 — energy breakdown, on-chip-only CBIR (J per batch)",
+		Columns: []string{"Component", StageFE, StageSL, StageRR, "Total"},
+	}
+	for _, c := range energy.Components() {
+		row := []string{c.String()}
+		var sum float64
+		for _, st := range Stages() {
+			v := r.ComponentStage[c][st]
+			sum += v
+			row = append(row, report.F(v, 2))
+		}
+		row = append(row, report.F(sum, 2))
+		t.AddRow(row...)
+	}
+	t.AddNote("total %.1f J/batch; data movement share %s (paper: ~79%%)",
+		r.TotalJ, report.Pct(r.MovementShare))
+	for _, st := range Stages() {
+		t.AddNote("%s: compute %s, movement %s of total (paper rerank movement: ~52%%)",
+			st, report.Pct(r.StageCompute[st]), report.Pct(r.StageMovement[st]))
+	}
+	return t
+}

@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/accel"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// StageResult is one cell of the Figs. 9-11 sweeps.
+type StageResult struct {
+	Level     accel.Level
+	Instances int
+	Runtime   sim.Time
+	EnergyJ   float64
+}
+
+// RunStage executes a single pipeline stage in isolation at one level with
+// n instances and reports its runtime and energy (background included over
+// the stage runtime).
+func RunStage(stage string, l accel.Level, n int, m workload.Model) (*StageResult, error) {
+	var cfg config.SystemConfig
+	switch l {
+	case accel.OnChip:
+		cfg = config.Default().WithInstances(1, 0, 0)
+	case accel.NearMemory:
+		cfg = config.Default().WithInstances(0, n, 0)
+	case accel.NearStorage:
+		cfg = config.Default().WithInstances(0, 0, n)
+	default:
+		return nil, fmt.Errorf("experiments: cannot run a stage on %v", l)
+	}
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		return nil, err
+	}
+	j := core.NewJob(0)
+	if _, err := addStage(sys, j, stage, l, m, nil); err != nil {
+		return nil, err
+	}
+	if err := sys.GAM().Submit(j); err != nil {
+		return nil, err
+	}
+	sys.Run()
+	if !j.Done() {
+		return nil, fmt.Errorf("experiments: stage %s at %v did not complete", stage, l)
+	}
+	sys.Background(stage, j.Latency())
+	return &StageResult{
+		Level:     l,
+		Instances: n,
+		Runtime:   j.Latency(),
+		EnergyJ:   sys.Meter().Total(),
+	}, nil
+}
+
+// StageSweep holds a Figs. 9-11 style sweep: near-memory and near-storage
+// results over instance counts, normalised to the single on-chip
+// accelerator.
+type StageSweep struct {
+	Stage    string
+	Counts   []int
+	OnChip   *StageResult
+	NearMem  map[int]*StageResult
+	NearStor map[int]*StageResult
+}
+
+// NormRuntime reports runtime(level, n) / runtime(on-chip).
+func (s *StageSweep) NormRuntime(l accel.Level, n int) float64 {
+	r := s.result(l, n)
+	if r == nil || s.OnChip.Runtime == 0 {
+		return 0
+	}
+	return float64(r.Runtime) / float64(s.OnChip.Runtime)
+}
+
+// NormEnergy reports energy(level, n) / energy(on-chip).
+func (s *StageSweep) NormEnergy(l accel.Level, n int) float64 {
+	r := s.result(l, n)
+	if r == nil || s.OnChip.EnergyJ == 0 {
+		return 0
+	}
+	return r.EnergyJ / s.OnChip.EnergyJ
+}
+
+func (s *StageSweep) result(l accel.Level, n int) *StageResult {
+	switch l {
+	case accel.NearMemory:
+		return s.NearMem[n]
+	case accel.NearStorage:
+		return s.NearStor[n]
+	default:
+		return s.OnChip
+	}
+}
+
+// SweepCounts is the instance axis of Figs. 9-11.
+func SweepCounts() []int { return []int{1, 2, 4, 8, 16} }
+
+// RunStageSweep produces the data behind one of Figs. 9-11.
+func RunStageSweep(stage string, m workload.Model) (*StageSweep, error) {
+	sweep := &StageSweep{
+		Stage:    stage,
+		Counts:   SweepCounts(),
+		NearMem:  make(map[int]*StageResult),
+		NearStor: make(map[int]*StageResult),
+	}
+	onchip, err := RunStage(stage, accel.OnChip, 1, m)
+	if err != nil {
+		return nil, err
+	}
+	sweep.OnChip = onchip
+	for _, n := range sweep.Counts {
+		nm, err := RunStage(stage, accel.NearMemory, n, m)
+		if err != nil {
+			return nil, err
+		}
+		sweep.NearMem[n] = nm
+		ns, err := RunStage(stage, accel.NearStorage, n, m)
+		if err != nil {
+			return nil, err
+		}
+		sweep.NearStor[n] = ns
+	}
+	return sweep, nil
+}
+
+// Table renders the sweep in the layout of Figs. 9-11: one row per
+// instance count, normalised runtime and energy for both levels.
+func (s *StageSweep) Table(figure string) *report.Table {
+	t := &report.Table{
+		Title: fmt.Sprintf("%s — %s runtime/energy vs on-chip (normalised)", figure, s.Stage),
+		Columns: []string{"ACCs", "NearMem runtime", "NearMem energy",
+			"NearStor runtime", "NearStor energy"},
+	}
+	for _, n := range s.Counts {
+		t.AddRow(
+			fmt.Sprintf("%d", n),
+			report.F(s.NormRuntime(accel.NearMemory, n), 2),
+			report.F(s.NormEnergy(accel.NearMemory, n), 2),
+			report.F(s.NormRuntime(accel.NearStorage, n), 2),
+			report.F(s.NormEnergy(accel.NearStorage, n), 2),
+		)
+	}
+	t.AddNote("on-chip baseline: %.1f ms, %.2f J (normalised to 1.0)",
+		s.OnChip.Runtime.Milliseconds(), s.OnChip.EnergyJ)
+	return t
+}
+
+// Fig9 reproduces the feature-extraction sweep.
+func Fig9(m workload.Model) (*StageSweep, error) { return RunStageSweep(StageFE, m) }
+
+// Fig10 reproduces the shortlist-retrieval sweep.
+func Fig10(m workload.Model) (*StageSweep, error) { return RunStageSweep(StageSL, m) }
+
+// Fig11 reproduces the rerank sweep.
+func Fig11(m workload.Model) (*StageSweep, error) { return RunStageSweep(StageRR, m) }

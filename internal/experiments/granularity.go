@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/accel"
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+// GranularityCell is one task-size point.
+type GranularityCell struct {
+	TasksPerStage int
+	Throughput    float64
+	Latency       sim.Time
+	ControlPlane  uint64 // command packets + status polls
+}
+
+// GranularityResult quantifies §II-D's design rule: "the accelerator tasks
+// are intentionally designed to be small enough to exploit task-level
+// parallelism but large enough to amortize the data transfer overhead."
+// The ReACH pipeline is run with each near-data stage decomposed into
+// 4…256 tasks; too-coarse decompositions under-use the instances, while
+// too-fine ones drown in GAM command/status traffic and per-task overheads
+// (DIMM handoffs, command latency).
+type GranularityResult struct {
+	Cells []*GranularityCell
+}
+
+// AblationGranularity runs the sweep on the ReACH mapping with 4 instances
+// per near-data level.
+func AblationGranularity(m workload.Model) (*GranularityResult, error) {
+	res := &GranularityResult{}
+	for _, tasks := range []int{4, 16, 64, 256} {
+		sys, err := core.NewSystem(configFor(ReACHMapping(), 4))
+		if err != nil {
+			return nil, err
+		}
+		// Per-task GAM overheads are what fine granularity amplifies.
+		const batches = 6
+		var jobs []*core.Job
+		for b := 0; b < batches; b++ {
+			j, err := buildChunkedJob(sys, b, m, tasks)
+			if err != nil {
+				return nil, err
+			}
+			if err := sys.GAM().Submit(j); err != nil {
+				return nil, err
+			}
+			jobs = append(jobs, j)
+		}
+		sys.Run()
+		for _, j := range jobs {
+			if !j.Done() {
+				return nil, fmt.Errorf("experiments: job %d incomplete at %d tasks/stage", j.ID, tasks)
+			}
+		}
+		makespan := jobs[batches-1].FinishedAt - jobs[0].SubmittedAt
+		g := sys.GAM().Stats()
+		res.Cells = append(res.Cells, &GranularityCell{
+			TasksPerStage: tasks,
+			Throughput:    float64(batches) / makespan.Seconds(),
+			Latency:       jobs[0].Latency(),
+			ControlPlane:  g.CommandPackets + g.StatusPolls,
+		})
+	}
+	return res, nil
+}
+
+// buildChunkedJob is BuildPipelineJob with the SL and RR stages split into
+// `chunks` equal tasks spread over the instances (instead of one task per
+// instance).
+func buildChunkedJob(sys *core.System, id int, m workload.Model, chunks int) (*core.Job, error) {
+	j := core.NewJob(id)
+	reg := sys.Registry()
+	cnn, err := reg.Lookup("CNN-VU9P")
+	if err != nil {
+		return nil, err
+	}
+	gemm, err := reg.Lookup("GEMM-ZCU9")
+	if err != nil {
+		return nil, err
+	}
+	knn, err := reg.Lookup("KNN-ZCU9")
+	if err != nil {
+		return nil, err
+	}
+
+	fe := j.AddTask(accel.Task{
+		Name: "fe", Stage: StageFE, Kernel: cnn,
+		MACs: m.FeatureMACsPerBatch(), Source: accel.SourceSPM,
+	}, accel.OnChip)
+	fe.OutBytes = m.BatchFeatureBytes()
+
+	nmCount := sys.InstanceCount(accel.NearMemory)
+	slNodes := make([]*core.TaskNode, 0, chunks)
+	for c := 0; c < chunks; c++ {
+		n := j.AddTask(accel.Task{
+			Name: fmt.Sprintf("sl%d", c), Stage: StageSL, Kernel: gemm,
+			MACs:   m.ShortlistMACsPerBatch() / float64(chunks),
+			Bytes:  m.ShortlistScanBytesPerBatch() / int64(chunks),
+			Source: accel.SourceLocalDIMM,
+		}, accel.NearMemory, fe)
+		n.Pin = c % nmCount
+		n.OutBytes = m.ShortlistResultBytesPerBatch() / int64(chunks)
+		slNodes = append(slNodes, n)
+	}
+
+	nsCount := sys.InstanceCount(accel.NearStorage)
+	for c := 0; c < chunks; c++ {
+		n := j.AddTask(accel.Task{
+			Name: fmt.Sprintf("rr%d", c), Stage: StageRR, Kernel: knn,
+			MACs:   m.RerankMACsPerBatch() / float64(chunks),
+			Bytes:  m.RerankScanBytesPerBatch() / int64(chunks),
+			Source: accel.SourceSSD, Pattern: storage.RandomPages,
+		}, accel.NearStorage, slNodes...)
+		n.Pin = c % nsCount
+		n.OutBytes = m.ResultBytesPerBatch() / int64(chunks)
+		n.SinkToHost = true
+	}
+	return j, nil
+}
+
+// Best returns the highest-throughput cell.
+func (r *GranularityResult) Best() *GranularityCell {
+	best := r.Cells[0]
+	for _, c := range r.Cells[1:] {
+		if c.Throughput > best.Throughput {
+			best = c
+		}
+	}
+	return best
+}
+
+// Table renders the sweep.
+func (r *GranularityResult) Table() *report.Table {
+	t := &report.Table{
+		Title:   "Ablation — task granularity (§II-D), ReACH mapping, 4 instances/level",
+		Columns: []string{"Tasks/stage", "Batches/s", "Latency ms", "GAM packets"},
+	}
+	for _, c := range r.Cells {
+		t.AddRow(
+			fmt.Sprintf("%d", c.TasksPerStage),
+			report.F(c.Throughput, 2),
+			report.F(c.Latency.Milliseconds(), 1),
+			fmt.Sprintf("%d", c.ControlPlane),
+		)
+	}
+	t.AddNote("tasks must be small enough for task-level parallelism, large enough to amortise transfer/control overhead")
+	return t
+}

@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestAblationGranularity(t *testing.T) {
+	r, err := AblationGranularity(workload.DefaultModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Cells) != 4 {
+		t.Fatalf("%d cells", len(r.Cells))
+	}
+	byTasks := map[int]*GranularityCell{}
+	for _, c := range r.Cells {
+		byTasks[c.TasksPerStage] = c
+	}
+	// Control-plane traffic grows with task count.
+	if byTasks[256].ControlPlane <= byTasks[4].ControlPlane {
+		t.Errorf("256-task control traffic (%d) not above 4-task (%d)",
+			byTasks[256].ControlPlane, byTasks[4].ControlPlane)
+	}
+	// The extreme decomposition must not be the best choice: overheads
+	// take their bite (§II-D's "large enough to amortize").
+	best := r.Best()
+	if best.TasksPerStage == 256 {
+		t.Errorf("finest granularity won (%d tasks); overheads not modelled?", best.TasksPerStage)
+	}
+	// Everything still completes with useful throughput.
+	for _, c := range r.Cells {
+		if c.Throughput <= 0 {
+			t.Errorf("%d tasks: throughput %v", c.TasksPerStage, c.Throughput)
+		}
+	}
+	var sb strings.Builder
+	if err := r.Table().Render(&sb); err != nil {
+		t.Error(err)
+	}
+	if !strings.Contains(sb.String(), "Tasks/stage") {
+		t.Error("table malformed")
+	}
+}

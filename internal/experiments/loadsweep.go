@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/accel"
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// LoadPoint is one offered-load measurement.
+type LoadPoint struct {
+	OfferedBatchesPerSec float64
+	MeanLatency          sim.Time
+	P99Latency           sim.Time
+	Completed            int
+}
+
+// LoadSweepResult measures query latency under open-loop batch arrivals —
+// the service-level view of the paper's throughput claim ("throughput is
+// crucial to user experience", §I): the ReACH mapping sustains ~4.5× the
+// arrival rate of on-chip acceleration before latency diverges.
+type LoadSweepResult struct {
+	Option string
+	Points []*LoadPoint
+}
+
+// LoadSweep submits `batches` jobs at a fixed arrival interval and
+// records completion latencies for each offered rate.
+func LoadSweep(m workload.Model, mp Mapping, n int, rates []float64, batches int) (*LoadSweepResult, error) {
+	res := &LoadSweepResult{}
+	for _, rate := range rates {
+		sys, err := core.NewSystem(configFor(mp, n))
+		if err != nil {
+			return nil, err
+		}
+		interval := sim.FromSeconds(1 / rate)
+		var jobs []*core.Job
+		for b := 0; b < batches; b++ {
+			j, err := BuildPipelineJob(sys, b, m, mp)
+			if err != nil {
+				return nil, err
+			}
+			jobs = append(jobs, j)
+			job := j
+			sys.Engine().At(sim.Time(b)*interval, func() {
+				if err := sys.GAM().Submit(job); err != nil {
+					panic(err)
+				}
+			})
+		}
+		sys.Run()
+		hist := sim.NewHistogram()
+		for _, j := range jobs {
+			if !j.Done() {
+				return nil, fmt.Errorf("experiments: job %d incomplete at rate %.2f", j.ID, rate)
+			}
+			hist.Add(j.Latency())
+		}
+		res.Points = append(res.Points, &LoadPoint{
+			OfferedBatchesPerSec: rate,
+			MeanLatency:          hist.Mean(),
+			P99Latency:           hist.Quantile(0.99),
+			Completed:            hist.Count(),
+		})
+	}
+	return res, nil
+}
+
+// DefaultLoadRates spans from light load past the on-chip saturation point
+// toward the ReACH one.
+func DefaultLoadRates() []float64 {
+	return []float64{0.5, 1, 1.5, 2, 3, 4, 5, 6, 7}
+}
+
+// LoadSweepBoth runs the sweep for the on-chip baseline and the ReACH
+// mapping.
+func LoadSweepBoth(m workload.Model) (onchip, reach *LoadSweepResult, err error) {
+	onchip, err = LoadSweep(m, SingleLevel(accel.OnChip), 1, DefaultLoadRates(), 24)
+	if err != nil {
+		return nil, nil, err
+	}
+	onchip.Option = "onchip"
+	reach, err = LoadSweep(m, ReACHMapping(), 4, DefaultLoadRates(), 24)
+	if err != nil {
+		return nil, nil, err
+	}
+	reach.Option = "ReACH"
+	return onchip, reach, nil
+}
+
+// SaturationRate reports the highest offered rate whose mean latency stays
+// under `bound` — the sustainable service rate.
+func (r *LoadSweepResult) SaturationRate(bound sim.Time) float64 {
+	best := 0.0
+	for _, p := range r.Points {
+		if p.MeanLatency <= bound && p.OfferedBatchesPerSec > best {
+			best = p.OfferedBatchesPerSec
+		}
+	}
+	return best
+}
+
+// LoadSweepTable renders both options side by side.
+func LoadSweepTable(onchip, reach *LoadSweepResult) *report.Table {
+	t := &report.Table{
+		Title: "Load sweep — batch latency vs offered arrival rate (open loop)",
+		Columns: []string{"Offered b/s", "onchip mean ms", "onchip p99 ms",
+			"ReACH mean ms", "ReACH p99 ms"},
+	}
+	for i := range onchip.Points {
+		o, rr := onchip.Points[i], reach.Points[i]
+		t.AddRow(
+			report.F(o.OfferedBatchesPerSec, 1),
+			report.F(o.MeanLatency.Milliseconds(), 0),
+			report.F(o.P99Latency.Milliseconds(), 0),
+			report.F(rr.MeanLatency.Milliseconds(), 0),
+			report.F(rr.P99Latency.Milliseconds(), 0),
+		)
+	}
+	bound := 2 * sim.Second
+	t.AddNote("sustainable rate (mean < 2 s): onchip %.1f b/s, ReACH %.1f b/s (%.1fx)",
+		onchip.SaturationRate(bound), reach.SaturationRate(bound),
+		reach.SaturationRate(bound)/onchip.SaturationRate(bound))
+	return t
+}

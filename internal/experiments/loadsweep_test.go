@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func TestLoadSweepSaturation(t *testing.T) {
+	onchip, reach, err := LoadSweepBoth(workload.DefaultModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Below saturation, latency is flat near the unloaded value; past it,
+	// latency grows with queueing. ReACH must sustain a much higher rate.
+	bound := 2 * sim.Second
+	oSat := onchip.SaturationRate(bound)
+	rSat := reach.SaturationRate(bound)
+	if oSat <= 0 || rSat <= 0 {
+		t.Fatalf("saturation rates %v/%v", oSat, rSat)
+	}
+	if ratio := rSat / oSat; ratio < 2.5 {
+		t.Errorf("ReACH sustainable rate only %.1fx on-chip's (%.1f vs %.1f b/s)", ratio, rSat, oSat)
+	}
+	// Latency must be nondecreasing in offered load for each option.
+	for _, r := range []*LoadSweepResult{onchip, reach} {
+		for i := 1; i < len(r.Points); i++ {
+			if r.Points[i].MeanLatency+sim.Millisecond < r.Points[i-1].MeanLatency {
+				t.Errorf("%s: mean latency dropped from %v to %v as load rose",
+					r.Option, r.Points[i-1].MeanLatency, r.Points[i].MeanLatency)
+			}
+		}
+	}
+	var sb strings.Builder
+	if err := LoadSweepTable(onchip, reach).Render(&sb); err != nil {
+		t.Error(err)
+	}
+	if !strings.Contains(sb.String(), "sustainable rate") {
+		t.Error("table missing saturation note")
+	}
+}

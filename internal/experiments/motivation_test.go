@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMotivationCompressionCostsRecall(t *testing.T) {
+	r, err := Motivation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("%d rows, want 4", len(r.Rows))
+	}
+	exact := r.Rows[0]
+	if exact.Recall < 0.85 {
+		t.Errorf("exact-rerank recall = %.3f, want >= 0.85", exact.Recall)
+	}
+	// The PQ rows form a strictly-worsening chain (8B → 4B codes); the
+	// binary-codes row is an independent family and only needs to show
+	// the same trade-off against the exact baseline.
+	prev := exact
+	for _, row := range r.Rows[1:3] {
+		if row.BytesVisited >= prev.BytesVisited {
+			t.Errorf("%s visits %d bytes, not below %s's %d",
+				row.Name, row.BytesVisited, prev.Name, prev.BytesVisited)
+		}
+		if row.Recall >= prev.Recall {
+			t.Errorf("%s recall %.3f not below %s's %.3f",
+				row.Name, row.Recall, prev.Name, prev.Recall)
+		}
+		if row.CompressionRatio < 10 {
+			t.Errorf("%s compression = %.0fx, want orders of magnitude", row.Name, row.CompressionRatio)
+		}
+		prev = row
+	}
+	bin := r.Rows[3]
+	if bin.Recall >= exact.Recall {
+		t.Errorf("binary-codes recall %.3f not below exact %.3f", bin.Recall, exact.Recall)
+	}
+	if bin.CompressionRatio < 10 || bin.BytesVisited >= exact.BytesVisited {
+		t.Errorf("binary-codes row not compressive: %+v", bin)
+	}
+	var sb strings.Builder
+	if err := r.Table().Render(&sb); err != nil {
+		t.Error(err)
+	}
+	if !strings.Contains(sb.String(), "ReACH design point") {
+		t.Error("table missing the design-point row")
+	}
+}

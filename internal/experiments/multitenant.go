@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/accel"
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+// StageScan labels the co-tenant's scan jobs.
+const StageScan = "LogScan"
+
+// MultiTenantResult measures the §III claim that decoupling configuration
+// from host code lets "GAM balance the hardware resources during runtime":
+// the CBIR pipeline shares the hierarchy with a second tenant (a
+// near-storage log-scan workload) and the experiment reports how much CBIR
+// throughput/latency degrade and what the scan achieves, compared with
+// each tenant running alone.
+type MultiTenantResult struct {
+	CBIRAloneTput  float64
+	CBIRSharedTput float64
+	CBIRAloneLat   sim.Time
+	CBIRSharedLat  sim.Time
+	ScanAloneSec   float64
+	ScanSharedSec  float64
+	// Prioritised: same sharing, but CBIR jobs carry a higher GAM
+	// priority — the runtime-balancing knob of §III.
+	CBIRPrioTput float64
+	CBIRPrioLat  sim.Time
+	ScanPrioSec  float64
+}
+
+const (
+	mtBatches   = 6
+	mtScanJobs  = 6
+	mtScanBytes = int64(24e9) // 24 GB of logs scanned per job, striped over 4 SSDs
+)
+
+// MultiTenant runs the three configurations (CBIR alone, scan alone, both).
+func MultiTenant(m workload.Model) (*MultiTenantResult, error) {
+	res := &MultiTenantResult{}
+
+	cbirAlone, err := RunPipeline(m, ReACHMapping(), 4, mtBatches)
+	if err != nil {
+		return nil, err
+	}
+	res.CBIRAloneTput = cbirAlone.ThroughputBatchesPerSec()
+	res.CBIRAloneLat = cbirAlone.Latency
+
+	scanAlone, err := runTenants(m, false, true, 0)
+	if err != nil {
+		return nil, err
+	}
+	res.ScanAloneSec = scanAlone.scanSpan.Seconds()
+
+	both, err := runTenants(m, true, true, 0)
+	if err != nil {
+		return nil, err
+	}
+	res.CBIRSharedTput = float64(mtBatches) / both.cbirSpan.Seconds()
+	res.CBIRSharedLat = both.cbirFirstLatency
+	res.ScanSharedSec = both.scanSpan.Seconds()
+
+	prio, err := runTenants(m, true, true, 10)
+	if err != nil {
+		return nil, err
+	}
+	res.CBIRPrioTput = float64(mtBatches) / prio.cbirSpan.Seconds()
+	res.CBIRPrioLat = prio.cbirFirstLatency
+	res.ScanPrioSec = prio.scanSpan.Seconds()
+	return res, nil
+}
+
+type tenantRun struct {
+	cbirSpan         sim.Time
+	cbirFirstLatency sim.Time
+	scanSpan         sim.Time
+}
+
+func runTenants(m workload.Model, cbir, scan bool, cbirPriority int) (*tenantRun, error) {
+	sys, err := core.NewSystem(configFor(ReACHMapping(), 4))
+	if err != nil {
+		return nil, err
+	}
+	knn, err := sys.Registry().Lookup("KNN-ZCU9")
+	if err != nil {
+		return nil, err
+	}
+	var cbirJobs, scanJobs []*core.Job
+	nextID := 0
+	// The bulk tenant's jobs are queued first (batch analytics already
+	// running when interactive queries arrive) — without priorities the
+	// GAM's oldest-job-first ordering favours them.
+	if scan {
+		// Scans are chunked (16 tasks per device per job) per the §II-D
+		// granularity rule: small enough that the GAM can slot the
+		// latency-sensitive tenant's tasks between chunks, large enough
+		// to amortise per-task overhead.
+		const chunks = 16
+		for s := 0; s < mtScanJobs; s++ {
+			j := core.NewJob(nextID)
+			nextID++
+			for i := 0; i < 4; i++ {
+				for c := 0; c < chunks; c++ {
+					n := j.AddTask(accel.Task{
+						Name: fmt.Sprintf("scan%d.%d", i, c), Stage: StageScan, Kernel: knn,
+						MACs:   float64(mtScanBytes) / 64 / 4 / chunks,
+						Bytes:  mtScanBytes / 4 / chunks,
+						Source: accel.SourceSSD, Pattern: storage.Sequential,
+					}, accel.NearStorage)
+					n.Pin = i
+					n.OutBytes = 1 << 16
+					n.SinkToHost = true
+				}
+			}
+			if err := sys.GAM().Submit(j); err != nil {
+				return nil, err
+			}
+			scanJobs = append(scanJobs, j)
+		}
+	}
+	if cbir {
+		for b := 0; b < mtBatches; b++ {
+			j, err := BuildPipelineJob(sys, nextID, m, ReACHMapping())
+			if err != nil {
+				return nil, err
+			}
+			j.Priority = cbirPriority
+			nextID++
+			if err := sys.GAM().Submit(j); err != nil {
+				return nil, err
+			}
+			cbirJobs = append(cbirJobs, j)
+		}
+	}
+	sys.Run()
+	out := &tenantRun{}
+	for _, j := range append(append([]*core.Job{}, cbirJobs...), scanJobs...) {
+		if !j.Done() {
+			return nil, fmt.Errorf("experiments: tenant job %d incomplete", j.ID)
+		}
+	}
+	if cbir {
+		out.cbirSpan = cbirJobs[len(cbirJobs)-1].FinishedAt - cbirJobs[0].SubmittedAt
+		out.cbirFirstLatency = cbirJobs[0].Latency()
+	}
+	if scan {
+		out.scanSpan = scanJobs[len(scanJobs)-1].FinishedAt - scanJobs[0].SubmittedAt
+	}
+	return out, nil
+}
+
+// CBIRSlowdown reports shared/alone throughput degradation.
+func (r *MultiTenantResult) CBIRSlowdown() float64 {
+	return 1 - r.CBIRSharedTput/r.CBIRAloneTput
+}
+
+// Table renders the comparison.
+func (r *MultiTenantResult) Table() *report.Table {
+	t := &report.Table{
+		Title:   "Extension — multi-tenant hierarchy (CBIR + near-storage log scan)",
+		Columns: []string{"Metric", "Alone", "Shared"},
+	}
+	t.Columns = append(t.Columns, "Shared, CBIR prioritised")
+	t.AddRow("CBIR throughput (batches/s)", report.F(r.CBIRAloneTput, 2),
+		report.F(r.CBIRSharedTput, 2), report.F(r.CBIRPrioTput, 2))
+	t.AddRow("CBIR first-batch latency (ms)", report.F(r.CBIRAloneLat.Milliseconds(), 1),
+		report.F(r.CBIRSharedLat.Milliseconds(), 1), report.F(r.CBIRPrioLat.Milliseconds(), 1))
+	t.AddRow("Scan makespan (s)", report.F(r.ScanAloneSec, 2),
+		report.F(r.ScanSharedSec, 2), report.F(r.ScanPrioSec, 2))
+	t.AddNote("the GAM interleaves both tenants' tasks on the shared near-storage instances; CBIR loses %s throughput",
+		report.Pct(r.CBIRSlowdown()))
+	return t
+}

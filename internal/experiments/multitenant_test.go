@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestMultiTenantSharing(t *testing.T) {
+	r, err := MultiTenant(workload.DefaultModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without priorities, interactive queries queue behind the bulk scans
+	// that were submitted first: severe degradation.
+	if r.CBIRSharedTput >= r.CBIRAloneTput/2 {
+		t.Errorf("unprioritised CBIR throughput (%.2f) not well below alone (%.2f)",
+			r.CBIRSharedTput, r.CBIRAloneTput)
+	}
+	if r.CBIRSharedLat <= 2*r.CBIRAloneLat {
+		t.Errorf("unprioritised latency (%v) should blow up vs alone (%v)",
+			r.CBIRSharedLat, r.CBIRAloneLat)
+	}
+	// The priority knob (§III runtime balancing) restores the interactive
+	// tenant to near-solo performance...
+	if r.CBIRPrioTput < 0.9*r.CBIRAloneTput {
+		t.Errorf("prioritised CBIR throughput (%.2f) below 90%% of alone (%.2f)",
+			r.CBIRPrioTput, r.CBIRAloneTput)
+	}
+	if float64(r.CBIRPrioLat) > 1.5*float64(r.CBIRAloneLat) {
+		t.Errorf("prioritised latency (%v) not near alone (%v)", r.CBIRPrioLat, r.CBIRAloneLat)
+	}
+	// ...while costing the bulk tenant only modestly (chunked tasks let
+	// it fill the gaps).
+	if r.ScanPrioSec > 1.25*r.ScanAloneSec {
+		t.Errorf("prioritised scan makespan (%.2fs) more than 25%% over alone (%.2fs)",
+			r.ScanPrioSec, r.ScanAloneSec)
+	}
+	var sb strings.Builder
+	if err := r.Table().Render(&sb); err != nil {
+		t.Error(err)
+	}
+	if !strings.Contains(sb.String(), "prioritised") {
+		t.Error("table missing priority column")
+	}
+}

@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestRecallSweep(t *testing.T) {
+	r, err := RecallSweep(workload.DefaultModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 6 {
+		t.Fatalf("%d points", len(r.Points))
+	}
+	// Recall is nondecreasing in probes and traffic strictly increasing.
+	for i := 1; i < len(r.Points); i++ {
+		if r.Points[i].Recall+1e-9 < r.Points[i-1].Recall {
+			t.Errorf("recall dropped from %.3f to %.3f at %d probes",
+				r.Points[i-1].Recall, r.Points[i].Recall, r.Points[i].Probes)
+		}
+		if r.Points[i].BytesScanned <= r.Points[i-1].BytesScanned {
+			t.Error("rerank traffic not increasing with probes")
+		}
+	}
+	// The curve spans a meaningful range: low at 1 probe, high at 32.
+	if r.Points[0].Recall >= 0.9 {
+		t.Errorf("1-probe recall = %.3f, should be clearly lossy", r.Points[0].Recall)
+	}
+	last := r.Points[len(r.Points)-1]
+	if last.Recall < 0.95 {
+		t.Errorf("32-probe recall = %.3f, want >= 0.95", last.Recall)
+	}
+	var sb strings.Builder
+	if err := r.Table().Render(&sb); err != nil {
+		t.Error(err)
+	}
+	if !strings.Contains(sb.String(), "Probes") {
+		t.Error("table malformed")
+	}
+}

@@ -1,0 +1,35 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestReverseLookupMarginalCost(t *testing.T) {
+	r, err := ReverseLookup(workload.DefaultModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The stage adds latency...
+	if r.WithRLLatency <= r.BaseLatency {
+		t.Errorf("reverse lookup added no latency: %v vs %v", r.WithRLLatency, r.BaseLatency)
+	}
+	// ...but its online cost is marginal (the paper's exclusion argument):
+	// well under 10% throughput and under 15% latency.
+	if cost := r.ThroughputCost(); cost < 0 || cost > 0.10 {
+		t.Errorf("reverse-lookup throughput cost = %.1f%%, want < 10%%", cost*100)
+	}
+	latGrowth := float64(r.WithRLLatency-r.BaseLatency) / float64(r.BaseLatency)
+	if latGrowth > 0.15 {
+		t.Errorf("latency growth = %.1f%%, want < 15%%", latGrowth*100)
+	}
+	var sb strings.Builder
+	if err := r.Table().Render(&sb); err != nil {
+		t.Error(err)
+	}
+	if !strings.Contains(sb.String(), "RL") {
+		t.Error("table missing RL row")
+	}
+}

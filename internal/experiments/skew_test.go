@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestSkewExperiment(t *testing.T) {
+	r, err := SkewExperiment(workload.DefaultModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Cells) != 6 {
+		t.Fatalf("%d cells", len(r.Cells))
+	}
+	byKey := map[string]*SkewCell{}
+	for _, c := range r.Cells {
+		byKey[c.Placement.String()+report0(c.Zipf)] = c
+	}
+	// Under heavy skew, naive placement must lose throughput vs balanced.
+	contHot := byKey["contiguous1.2"]
+	rrHot := byKey["round-robin1.2"]
+	if contHot.Throughput >= rrHot.Throughput {
+		t.Errorf("contiguous placement under skew (%.2f b/s) not below round-robin (%.2f b/s)",
+			contHot.Throughput, rrHot.Throughput)
+	}
+	// Uniform popularity: placement is irrelevant.
+	contU := byKey["contiguous0.0"]
+	rrU := byKey["round-robin0.0"]
+	ratio := contU.Throughput / rrU.Throughput
+	if ratio < 0.98 || ratio > 1.02 {
+		t.Errorf("uniform-popularity throughputs differ: %.3f", ratio)
+	}
+	var sb strings.Builder
+	if err := r.Table().Render(&sb); err != nil {
+		t.Error(err)
+	}
+}
+
+func report0(v float64) string {
+	if v == 0 {
+		return "0.0"
+	}
+	if v == 0.8 {
+		return "0.8"
+	}
+	return "1.2"
+}

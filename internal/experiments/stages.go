@@ -1,0 +1,325 @@
+// Package experiments builds and runs the paper's evaluation (Section VI):
+// one entry point per table and figure, each returning both structured
+// results and a rendered table. The benchmark harness (bench_test.go) and
+// the reachsim CLI are thin wrappers over this package.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/accel"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/sim"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+// Stage labels used for energy attribution — the three online CBIR stages
+// of Fig. 7.
+const (
+	StageFE = "FeatureExtraction"
+	StageSL = "ShortlistRetrieval"
+	StageRR = "Rerank"
+)
+
+// Stages lists the pipeline stages in order.
+func Stages() []string { return []string{StageFE, StageSL, StageRR} }
+
+// Mapping assigns each pipeline stage to a compute level.
+type Mapping struct {
+	FE, SL, RR accel.Level
+}
+
+// ReACHMapping is the paper's optimized deployment (§IV-B, Fig. 7):
+// feature extraction on chip, shortlist retrieval near memory, rerank near
+// storage.
+func ReACHMapping() Mapping {
+	return Mapping{FE: accel.OnChip, SL: accel.NearMemory, RR: accel.NearStorage}
+}
+
+// SingleLevel maps every stage to one level (the §VI-C baselines).
+func SingleLevel(l accel.Level) Mapping { return Mapping{FE: l, SL: l, RR: l} }
+
+// Level returns the level of a stage label.
+func (m Mapping) Level(stage string) accel.Level {
+	switch stage {
+	case StageFE:
+		return m.FE
+	case StageSL:
+		return m.SL
+	default:
+		return m.RR
+	}
+}
+
+// configFor sizes the accelerator population for a mapping: one on-chip
+// instance when used, n near-memory/near-storage instances when used.
+func configFor(m Mapping, n int) config.SystemConfig {
+	onChip, nm, ns := 0, 0, 0
+	for _, l := range []accel.Level{m.FE, m.SL, m.RR} {
+		switch l {
+		case accel.OnChip:
+			onChip = 1
+		case accel.NearMemory:
+			nm = n
+		case accel.NearStorage:
+			ns = n
+		}
+	}
+	return config.Default().WithInstances(onChip, nm, ns)
+}
+
+// kernelFor picks the Table III template for a stage at a level.
+func kernelFor(sys *core.System, stage string, l accel.Level) string {
+	suffix := "-ZCU9"
+	if l == accel.OnChip {
+		suffix = "-VU9P"
+	}
+	switch stage {
+	case StageFE:
+		return "CNN" + suffix
+	case StageSL:
+		return "GEMM" + suffix
+	default:
+		return "KNN" + suffix
+	}
+}
+
+// addStage appends one stage's task group to a job, depending on `deps`,
+// and returns the new nodes. Task decomposition follows §VI-B/§VI-C: the
+// on-chip accelerator runs batched single tasks; near-data levels split
+// the stage across instances (and feature extraction runs one image per
+// task with duplicated parameters).
+func addStage(sys *core.System, j *core.Job, stage string, l accel.Level, m workload.Model, deps []*core.TaskNode) ([]*core.TaskNode, error) {
+	reg := sys.Registry()
+	kName := kernelFor(sys, stage, l)
+	kernel, err := reg.Lookup(kName)
+	if err != nil {
+		return nil, err
+	}
+	n := sys.InstanceCount(l)
+	if n == 0 {
+		return nil, fmt.Errorf("experiments: mapping stage %s to empty level %v", stage, l)
+	}
+	var nodes []*core.TaskNode
+
+	switch stage {
+	case StageFE:
+		if l == accel.OnChip {
+			// One batched task; compressed parameters resident in SRAM.
+			node := j.AddTask(accel.Task{
+				Name: "fe", Stage: stage, Kernel: kernel,
+				MACs: m.FeatureMACsPerBatch(), Source: accel.SourceSPM,
+			}, l, deps...)
+			node.OutBytes = m.BatchFeatureBytes()
+			nodes = append(nodes, node)
+			break
+		}
+		// Near-data: one image per task, duplicated (compressed)
+		// parameters per instance (§VI-B "single image per task").
+		src := accel.SourceLocalDIMM
+		if l == accel.NearStorage {
+			src = accel.SourceDeviceDRAM
+		}
+		for i := 0; i < m.BatchSize; i++ {
+			node := j.AddTask(accel.Task{
+				Name: fmt.Sprintf("fe%d", i), Stage: stage, Kernel: kernel,
+				MACs:   m.FeatureMACsPerImage(),
+				Bytes:  m.CNN.CompressedParamBytes() + m.ImageBytes(),
+				Source: src,
+			}, l, deps...)
+			node.OutBytes = m.VectorBytes()
+			nodes = append(nodes, node)
+		}
+
+	case StageSL:
+		switch l {
+		case accel.OnChip:
+			node := j.AddTask(accel.Task{
+				Name: "sl", Stage: stage, Kernel: kernel,
+				MACs: m.ShortlistMACsPerBatch(), Bytes: m.ShortlistScanBytesPerBatch(),
+				Source: accel.SourceHostDRAM,
+			}, l, deps...)
+			node.OutBytes = m.ShortlistResultBytesPerBatch()
+			nodes = append(nodes, node)
+		default:
+			src := accel.SourceLocalDIMM
+			if l == accel.NearStorage {
+				src = accel.SourceSSD
+			}
+			for i := 0; i < n; i++ {
+				node := j.AddTask(accel.Task{
+					Name: fmt.Sprintf("sl%d", i), Stage: stage, Kernel: kernel,
+					MACs:   m.ShortlistMACsPerBatch() / float64(n),
+					Bytes:  m.ShortlistScanBytesPerBatch() / int64(n),
+					Source: src, Pattern: storage.Sequential,
+				}, l, deps...)
+				node.Pin = i
+				node.OutBytes = m.ShortlistResultBytesPerBatch() / int64(n)
+				nodes = append(nodes, node)
+			}
+		}
+
+	case StageRR:
+		// The rerank scan is storage-resident everywhere; the level only
+		// changes which interface the bytes cross.
+		for i := 0; i < n; i++ {
+			count := n
+			if l == accel.OnChip {
+				count = 1
+			}
+			node := j.AddTask(accel.Task{
+				Name: fmt.Sprintf("rr%d", i), Stage: stage, Kernel: kernel,
+				MACs:   m.RerankMACsPerBatch() / float64(count),
+				Bytes:  m.RerankScanBytesPerBatch() / int64(count),
+				Source: accel.SourceSSD, Pattern: storage.RandomPages,
+			}, l, deps...)
+			if l != accel.OnChip {
+				node.Pin = i
+			}
+			node.OutBytes = m.ResultBytesPerBatch() / int64(count)
+			node.SinkToHost = true
+			nodes = append(nodes, node)
+			if l == accel.OnChip {
+				break
+			}
+		}
+	default:
+		return nil, fmt.Errorf("experiments: unknown stage %q", stage)
+	}
+	return nodes, nil
+}
+
+// BuildPipelineJob constructs one batch's job under a mapping.
+func BuildPipelineJob(sys *core.System, id int, m workload.Model, mp Mapping) (*core.Job, error) {
+	j := core.NewJob(id)
+	fe, err := addStage(sys, j, StageFE, mp.FE, m, nil)
+	if err != nil {
+		return nil, err
+	}
+	sl, err := addStage(sys, j, StageSL, mp.SL, m, fe)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := addStage(sys, j, StageRR, mp.RR, m, sl); err != nil {
+		return nil, err
+	}
+	return j, nil
+}
+
+// RunResult is the outcome of a pipeline run.
+type RunResult struct {
+	Sys     *core.System
+	Batches int
+	// Makespan is first-submit to last-finish.
+	Makespan sim.Time
+	// Latency is the first batch's submit-to-finish time.
+	Latency sim.Time
+	// StageSpan is, for the first batch, each stage's earliest-dispatch to
+	// latest-completion window.
+	StageSpan map[string]sim.Time
+	// Jobs holds the completed jobs in submission order.
+	Jobs []*core.Job
+}
+
+// ThroughputBatchesPerSec reports steady-state throughput.
+func (r *RunResult) ThroughputBatchesPerSec() float64 {
+	if r.Makespan <= 0 {
+		return 0
+	}
+	return float64(r.Batches) / r.Makespan.Seconds()
+}
+
+// EnergyPerBatch reports joules per batch for one component, excluding the
+// one-time Setup stage.
+func (r *RunResult) EnergyPerBatch(c energy.Component) float64 {
+	m := r.Sys.Meter()
+	total := m.Component(c) - m.ComponentStage(c, "Setup")
+	return total / float64(r.Batches)
+}
+
+// TotalEnergyPerBatch reports joules per batch across components.
+func (r *RunResult) TotalEnergyPerBatch() float64 {
+	var sum float64
+	for _, c := range energy.Components() {
+		sum += r.EnergyPerBatch(c)
+	}
+	return sum
+}
+
+// RunPipeline runs `batches` consecutive batch jobs of workload m under
+// mapping mp on a system with n near-data instances per used level, and
+// charges background power over the makespan (attributed to each stage in
+// proportion to its busy span).
+func RunPipeline(m workload.Model, mp Mapping, n, batches int) (*RunResult, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if batches <= 0 {
+		return nil, fmt.Errorf("experiments: need at least one batch")
+	}
+	sys, err := core.NewSystem(configFor(mp, n))
+	if err != nil {
+		return nil, err
+	}
+	res := &RunResult{Sys: sys, Batches: batches, StageSpan: make(map[string]sim.Time)}
+	for b := 0; b < batches; b++ {
+		j, err := BuildPipelineJob(sys, b, m, mp)
+		if err != nil {
+			return nil, err
+		}
+		if err := sys.GAM().Submit(j); err != nil {
+			return nil, err
+		}
+		res.Jobs = append(res.Jobs, j)
+	}
+	sys.Run()
+
+	for _, j := range res.Jobs {
+		if !j.Done() {
+			return nil, fmt.Errorf("experiments: job %d did not complete", j.ID)
+		}
+	}
+	first, last := res.Jobs[0], res.Jobs[batches-1]
+	res.Latency = first.Latency()
+	res.Makespan = last.FinishedAt - first.SubmittedAt
+
+	// First batch's per-stage spans.
+	type span struct{ lo, hi sim.Time }
+	spans := map[string]*span{}
+	for _, node := range first.Nodes {
+		st := node.Spec.Stage
+		s, ok := spans[st]
+		if !ok {
+			s = &span{lo: node.DispatchedAt, hi: node.CompletedAt}
+			spans[st] = s
+			continue
+		}
+		if node.DispatchedAt < s.lo {
+			s.lo = node.DispatchedAt
+		}
+		if node.CompletedAt > s.hi {
+			s.hi = node.CompletedAt
+		}
+	}
+	var totalSpan sim.Time
+	for st, s := range spans {
+		res.StageSpan[st] = s.hi - s.lo
+		totalSpan += s.hi - s.lo
+	}
+
+	// Background power over the makespan, split across stages by busy
+	// share so the Fig. 8 stacking has a home for it.
+	if totalSpan > 0 {
+		for st, sp := range res.StageSpan {
+			frac := float64(sp) / float64(totalSpan)
+			window := sim.Time(float64(res.Makespan) * frac)
+			sys.Background(st, window)
+		}
+	} else {
+		sys.Background(StageRR, res.Makespan)
+	}
+	return res, nil
+}

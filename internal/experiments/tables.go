@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/energy"
+	"repro/internal/fpga"
+	"repro/internal/report"
+	"repro/internal/workload"
+)
+
+// TableI renders the paper's Table I from the workload model.
+func TableI(m workload.Model) *report.Table {
+	t := &report.Table{
+		Title:   "Table I — memory and compute requirements per CBIR stage",
+		Columns: []string{"Stage", "Memory requirement", "Computation requirement"},
+	}
+	for _, row := range workload.TableI(m) {
+		t.AddRow(row.Stage, row.MemoryNote, row.Compute+" — "+row.ComputeNote)
+	}
+	return t
+}
+
+// TableII renders the experimental system configuration.
+func TableII(cfg config.SystemConfig) *report.Table {
+	t := &report.Table{
+		Title:   "Table II — experimental setup of the compute hierarchy system",
+		Columns: []string{"Component", "Parameters"},
+	}
+	t.AddRow("CPU", fmt.Sprintf("1 x86-64 OoO core @ %.0f GHz, %d-wide issue, %dKB L1, %dMB shared L2",
+		cfg.CPU.FreqMHz/1000, cfg.CPU.IssueWidth, cfg.CPU.L1Bytes/1024, cfg.CPU.SharedL2/(1<<20)))
+	t.AddRow("Memory Controller", fmt.Sprintf("%d MCs, %d/%d-entry read/write request queue, FR-FCFS",
+		cfg.Memory.Controllers, cfg.Memory.ReadQueueDepth, cfg.Memory.WriteQueueDepth))
+	t.AddRow("Memory System", fmt.Sprintf("%d DDR4 DIMMs, %d for near-memory accelerators and %d for on-chip accelerator",
+		cfg.Memory.HostDIMMs+cfg.Memory.NearMemDIMMs, cfg.Memory.NearMemDIMMs, cfg.Memory.HostDIMMs))
+	t.AddRow("Storage System", fmt.Sprintf("%d NVMe SSD attached with PCIe gen3x16", cfg.Storage.SSDs))
+	t.AddRow("On-chip Accelerator", fmt.Sprintf("Virtex UltraScale+, %.0f GB/s to shared cache", cfg.OnChip.NoCGBps))
+	t.AddRow("Near-Memory Accelerator", fmt.Sprintf("Zynq UltraScale+, %.0f GB/s bandwidth to DDR4", cfg.Memory.NearMemGBps))
+	t.AddRow("Near-Storage Accelerator", fmt.Sprintf("Zynq UltraScale+ with %dGB DRAM, %.0f GB/s effective bandwidth to NVMe SSD",
+		cfg.Storage.NSBufferBytes/(1<<30), cfg.Storage.DeviceGBps))
+	return t
+}
+
+// TableIII renders the FPGA kernel table (utilisation, frequency, power)
+// plus this reproduction's calibrated throughput columns.
+func TableIII() *report.Table {
+	t := &report.Table{
+		Title: "Table III — FPGA utilisation, frequency and power per kernel",
+		Columns: []string{"FPGA", "Kernel", "Util (ff,lut,dsp,bram)", "Freq",
+			"Power (W)", "MACs/cyc", "Stream B/cyc"},
+	}
+	for _, k := range fpga.TableIII() {
+		power := report.F(k.PowerW, 2)
+		if k.PowerNSW > 0 {
+			power = fmt.Sprintf("%v/%v", k.PowerW, k.PowerNSW)
+		}
+		t.AddRow(
+			k.Device.Name,
+			k.Class.String(),
+			fmt.Sprintf("(%.0f%%,%.0f%%,%.0f%%,%.0f%%)", k.Util.FF, k.Util.LUT, k.Util.DSP, k.Util.BRAM),
+			fmt.Sprintf("%.0f MHz", k.FreqMHz),
+			power,
+			report.F(k.MACsPerCycle, 0),
+			report.F(k.StreamBytesPerCycle, 0),
+		)
+	}
+	t.AddNote("utilisation/frequency/power are the paper's published values; MACs/cyc and stream B/cyc are this reproduction's calibration (DESIGN.md)")
+	return t
+}
+
+// TableIV renders the energy-model constants standing in for the paper's
+// tool chain.
+func TableIV(costs energy.Costs) *report.Table {
+	t := &report.Table{
+		Title:   "Table IV — energy model (paper tools → calibrated constants)",
+		Columns: []string{"Component", "Paper reference", "This reproduction"},
+	}
+	t.AddRow("FPGA Accelerators", "Xilinx SDAccel 2019.1 + XPE power calculator",
+		"Table III kernel power × busy time")
+	t.AddRow("Cache", "CACTI 6.5",
+		fmt.Sprintf("%.2f nJ/B per access", costs.CachePerByte*1e9))
+	t.AddRow("DRAM", "Micron DDR4 power calculator",
+		fmt.Sprintf("%.2f nJ/B per traversal + %.2f W/DIMM background", costs.DRAMPerByte*1e9, costs.DRAMBackgroundWPerDIMM))
+	t.AddRow("Storage", "NVMe SSDs (Seagate Nytro) with PCIe Gen3x16",
+		fmt.Sprintf("%.2f nJ/B read + %.2f W/device idle", costs.SSDPerByte*1e9, costs.SSDIdleW))
+	t.AddRow("Interconnect", "PCIe switch + links, memory channels",
+		fmt.Sprintf("PCIe %.2f nJ/B, MC/interconnect %.2f nJ/B, AIMbus %.2f nJ/B",
+			costs.PCIePerByte*1e9, costs.MCPerByte*1e9, costs.AIMBusPerByte*1e9))
+	return t
+}

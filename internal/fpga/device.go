@@ -1,0 +1,214 @@
+// Package fpga models the reconfigurable fabric at each ReACH compute
+// level: device resource inventories (Virtex UltraScale+ VU9P for the
+// on-chip accelerator, Zynq UltraScale+ ZCU9EQ for near-memory and
+// near-storage modules), the kernel templates of the paper's Table III with
+// their synthesised frequency, utilisation and power, and the cycle-level
+// performance model the simulator derives task durations from —
+// cycles = depth + II × iterations, exactly the quantities the paper
+// extracts from HLS synthesis reports and feeds to its simulator (§V).
+package fpga
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Resources is an FPGA resource inventory (flip-flops, look-up tables, DSP
+// slices, block-RAM tiles).
+type Resources struct {
+	FF   int
+	LUT  int
+	DSP  int
+	BRAM int
+}
+
+// Utilization is a resource vector expressed as a percentage of a device,
+// as synthesis reports (and the paper's Table III) state it.
+type Utilization struct {
+	FF   float64
+	LUT  float64
+	DSP  float64
+	BRAM float64
+}
+
+// Add returns the element-wise sum of two utilisations.
+func (u Utilization) Add(v Utilization) Utilization {
+	return Utilization{FF: u.FF + v.FF, LUT: u.LUT + v.LUT, DSP: u.DSP + v.DSP, BRAM: u.BRAM + v.BRAM}
+}
+
+// Fits reports whether the utilisation fits in one device (≤100 % on every
+// resource class).
+func (u Utilization) Fits() bool {
+	return u.FF <= 100 && u.LUT <= 100 && u.DSP <= 100 && u.BRAM <= 100
+}
+
+// Device describes one FPGA part.
+type Device struct {
+	Name  string
+	Total Resources
+	// SPMBytes is the usable on-fabric scratchpad capacity.
+	SPMBytes int64
+	// StaticPowerW is the fabric's static power when configured.
+	StaticPowerW float64
+}
+
+// The two parts used in the paper (Table II/III). Resource totals follow
+// the Xilinx UltraScale+ product tables [25].
+var (
+	// VirtexVU9P is the large on-chip device (Xilinx Virtex UltraScale+
+	// XCVU9P).
+	VirtexVU9P = &Device{
+		Name:         "XCVU9P",
+		Total:        Resources{FF: 2_364_480, LUT: 1_182_240, DSP: 6840, BRAM: 2160},
+		SPMBytes:     48 << 20, // BRAM+URAM usable as accelerator SPM
+		StaticPowerW: 3.0,
+	}
+	// ZynqZCU9 is the embedded device used by near-memory and
+	// near-storage modules (Xilinx Zynq UltraScale+ ZCU9EG).
+	ZynqZCU9 = &Device{
+		Name:         "ZCU9EQ",
+		Total:        Resources{FF: 548_160, LUT: 274_080, DSP: 2520, BRAM: 912},
+		SPMBytes:     4 << 20,
+		StaticPowerW: 0.6,
+	}
+)
+
+// Absolute converts a percentage utilisation on d into absolute resource
+// counts.
+func (d *Device) Absolute(u Utilization) Resources {
+	pct := func(total int, p float64) int { return int(float64(total)*p/100.0 + 0.5) }
+	return Resources{
+		FF:   pct(d.Total.FF, u.FF),
+		LUT:  pct(d.Total.LUT, u.LUT),
+		DSP:  pct(d.Total.DSP, u.DSP),
+		BRAM: pct(d.Total.BRAM, u.BRAM),
+	}
+}
+
+// KernelClass identifies the three accelerator kernels of the case study.
+type KernelClass int
+
+const (
+	// CNN is the convolutional-neural-network feature-extraction kernel.
+	CNN KernelClass = iota
+	// GeMM is the matrix-multiplication kernel of shortlist retrieval.
+	GeMM
+	// KNN is the k-nearest-neighbour streaming kernel of rerank.
+	KNN
+)
+
+func (k KernelClass) String() string {
+	switch k {
+	case CNN:
+		return "CNN"
+	case GeMM:
+		return "GeMM"
+	case KNN:
+		return "KNN"
+	default:
+		return fmt.Sprintf("KernelClass(%d)", int(k))
+	}
+}
+
+// Template is one synthesised kernel for one device — an accelerator
+// template in the sense of the ReACH runtime library (§III-A): bitstream
+// metadata plus the synthesis-report numbers the GAM uses for timing
+// estimates.
+type Template struct {
+	Name   string
+	Class  KernelClass
+	Device *Device
+	Util   Utilization
+	// FreqMHz is the synthesised kernel clock (Table III).
+	FreqMHz float64
+	// PowerW is the active power when deployed at the on-chip or
+	// near-memory level; PowerNSW is the near-storage variant, which is
+	// higher because of the private DRAM buffer and its interface
+	// (Table III lists two numbers for the Zynq kernels).
+	PowerW   float64
+	PowerNSW float64
+	// MACsPerCycle is the multiply-accumulate throughput of the datapath.
+	MACsPerCycle float64
+	// StreamBytesPerCycle is the input-consumption capability of the
+	// datapath (how fast the kernel can absorb streamed operands).
+	StreamBytesPerCycle float64
+	// II is the pipeline initiation interval and Depth the pipeline depth
+	// in cycles, from the synthesis report.
+	II    int
+	Depth int
+}
+
+// Clock returns the kernel's clock domain.
+func (t *Template) Clock() sim.Clock { return sim.MHz(t.FreqMHz) }
+
+// ComputeThroughput reports MAC/s.
+func (t *Template) ComputeThroughput() float64 {
+	return t.MACsPerCycle * t.FreqMHz * 1e6
+}
+
+// StreamBandwidth reports the kernel's input consumption rate in bytes/s.
+func (t *Template) StreamBandwidth() float64 {
+	return t.StreamBytesPerCycle * t.FreqMHz * 1e6
+}
+
+// Cycles returns the kernel-cycle count to process a work item of the given
+// MAC count and streamed byte volume: the pipeline fill (depth) plus one
+// initiation interval per iteration, where the iteration count is set by
+// whichever of compute and data consumption binds.
+func (t *Template) Cycles(macs float64, bytes int64) uint64 {
+	perIterMACs := t.MACsPerCycle * float64(t.II)
+	perIterBytes := t.StreamBytesPerCycle * float64(t.II)
+	var iters float64
+	if perIterMACs > 0 && macs > 0 {
+		iters = macs / perIterMACs
+	}
+	if perIterBytes > 0 && bytes > 0 {
+		if bi := float64(bytes) / perIterBytes; bi > iters {
+			iters = bi
+		}
+	}
+	n := uint64(iters)
+	if float64(n) < iters {
+		n++
+	}
+	if n == 0 {
+		n = 1
+	}
+	return uint64(t.Depth) + uint64(t.II)*(n-1) + uint64(t.II)
+}
+
+// Duration converts Cycles to simulated time at the kernel clock.
+func (t *Template) Duration(macs float64, bytes int64) sim.Time {
+	return t.Clock().Cycles(t.Cycles(macs, bytes))
+}
+
+// Power reports the active power of the template when deployed at a level
+// with (nearStorage=true) or without the private DRAM buffer.
+func (t *Template) Power(nearStorage bool) float64 {
+	if nearStorage && t.PowerNSW > 0 {
+		return t.PowerNSW
+	}
+	return t.PowerW
+}
+
+// Validate checks the template's parameters.
+func (t *Template) Validate() error {
+	switch {
+	case t.Name == "":
+		return fmt.Errorf("fpga: template without name")
+	case t.Device == nil:
+		return fmt.Errorf("fpga: template %s without device", t.Name)
+	case t.FreqMHz <= 0:
+		return fmt.Errorf("fpga: template %s invalid frequency %v", t.Name, t.FreqMHz)
+	case !t.Util.Fits():
+		return fmt.Errorf("fpga: template %s exceeds device resources", t.Name)
+	case t.II <= 0 || t.Depth <= 0:
+		return fmt.Errorf("fpga: template %s invalid II/depth %d/%d", t.Name, t.II, t.Depth)
+	case t.PowerW <= 0:
+		return fmt.Errorf("fpga: template %s invalid power %v", t.Name, t.PowerW)
+	case t.MACsPerCycle <= 0 && t.StreamBytesPerCycle <= 0:
+		return fmt.Errorf("fpga: template %s has no throughput model", t.Name)
+	}
+	return nil
+}

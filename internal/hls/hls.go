@@ -1,0 +1,246 @@
+// Package hls estimates the synthesis outcomes of accelerator kernels from
+// a high-level loop-nest description — the role the paper's tool flow
+// fills with Vivado HLS reports and the authors' fast performance
+// modelling work [13]. Given a kernel's loop nest (trip counts, per-
+// iteration operations, unroll and array-partition factors) and a target
+// device, it derives:
+//
+//   - the pipeline initiation interval (II), limited by memory-port
+//     conflicts on partitioned arrays;
+//   - the pipeline depth (operation-chain latency);
+//   - resource usage (DSP/LUT/FF/BRAM) and the utilisation percentages;
+//   - an achievable clock frequency (derated as the device fills);
+//   - the resulting fpga.Template, ready to register with the ReACH
+//     runtime.
+//
+// The estimator is deliberately first-order — the same fidelity class the
+// paper's simulator consumes (II, depth, iteration counts, frequency).
+package hls
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/fpga"
+)
+
+// OpCounts describes one pipeline iteration's operation mix.
+type OpCounts struct {
+	// MACs per iteration (mapped to DSPs).
+	MACs int
+	// ALUOps per iteration (compares, adds mapped to LUT fabric).
+	ALUOps int
+	// MemReads/MemWrites per iteration against on-fabric buffers.
+	MemReads  int
+	MemWrites int
+}
+
+// Loop is one level of the kernel's loop nest, outermost first.
+type Loop struct {
+	Name string
+	// Trip is the iteration count.
+	Trip int
+	// Unroll is the spatial unroll factor (1 = fully sequential).
+	Unroll int
+}
+
+// Buffer is an on-fabric array the kernel iterates over.
+type Buffer struct {
+	Name string
+	// Bytes of capacity required.
+	Bytes int64
+	// Partitions is the array-partitioning factor (ports scale with it).
+	Partitions int
+	// AccessesPerIter is how many reads+writes each pipeline iteration
+	// makes to this buffer.
+	AccessesPerIter int
+}
+
+// Kernel is the high-level kernel description.
+type Kernel struct {
+	Name    string
+	Class   fpga.KernelClass
+	Loops   []Loop
+	Ops     OpCounts
+	Buffers []Buffer
+	// StreamBytesPerIter is the off-fabric data consumed per iteration.
+	StreamBytesPerIter int
+	// TargetMHz is the requested clock; the estimate may derate it.
+	TargetMHz float64
+}
+
+// Estimate is the synthesis-report equivalent.
+type Estimate struct {
+	Kernel  string
+	Device  *fpga.Device
+	II      int
+	Depth   int
+	FreqMHz float64
+	// TotalIterations is the product of trip counts divided by unrolls.
+	TotalIterations float64
+	// StreamBytesPerCycle is the unrolled off-fabric consumption rate.
+	StreamBytesPerCycle float64
+	// Resources used, absolute and as device utilisation.
+	Used fpga.Resources
+	Util fpga.Utilization
+	// Fits reports whether the kernel fits the device.
+	Fits bool
+}
+
+// Per-operation resource factors (first-order HLS costs for fp32
+// datapaths).
+const (
+	dspPerMAC   = 3 // fp32 multiply-add on UltraScale+ DSP48E2 cascades
+	lutPerMAC   = 120
+	ffPerMAC    = 250
+	lutPerALU   = 60
+	ffPerALU    = 90
+	bramBytes   = 4608 // one 36Kb BRAM holds 4.5 KiB
+	lutBase     = 5000 // control, AXI plumbing
+	ffBase      = 8000
+	depthBase   = 8 // interface + control stages
+	depthPerMAC = 4 // multiplier + adder chain stages
+)
+
+// Analyze produces the estimate of k on device d.
+func Analyze(k Kernel, d *fpga.Device) (*Estimate, error) {
+	if len(k.Loops) == 0 {
+		return nil, fmt.Errorf("hls: kernel %s has no loops", k.Name)
+	}
+	if k.TargetMHz <= 0 {
+		return nil, fmt.Errorf("hls: kernel %s needs a target frequency", k.Name)
+	}
+	unroll := 1
+	iters := 1.0
+	for _, l := range k.Loops {
+		if l.Trip <= 0 {
+			return nil, fmt.Errorf("hls: loop %s has trip %d", l.Name, l.Trip)
+		}
+		u := l.Unroll
+		if u <= 0 {
+			u = 1
+		}
+		if u > l.Trip {
+			u = l.Trip
+		}
+		unroll *= u
+		iters *= math.Ceil(float64(l.Trip) / float64(u))
+	}
+
+	// II: each iteration issues Ops×unroll memory accesses against the
+	// partitioned buffers; the binding port count limits issue rate.
+	ii := 1
+	for _, b := range k.Buffers {
+		if b.AccessesPerIter <= 0 {
+			continue
+		}
+		parts := b.Partitions
+		if parts <= 0 {
+			parts = 1
+		}
+		// Dual-ported BRAM: 2 accesses per partition per cycle.
+		need := b.AccessesPerIter * unroll
+		have := parts * 2
+		if q := (need + have - 1) / have; q > ii {
+			ii = q
+		}
+	}
+
+	// Depth: operation-chain latency.
+	depth := depthBase + depthPerMAC*intLog2(unroll+1)
+	if k.Ops.MACs > 0 {
+		depth += depthPerMAC
+	}
+
+	// Resources: spatial ops scale with unroll.
+	used := fpga.Resources{
+		DSP: k.Ops.MACs * unroll * dspPerMAC,
+		LUT: lutBase + k.Ops.MACs*unroll*lutPerMAC + k.Ops.ALUOps*unroll*lutPerALU,
+		FF:  ffBase + k.Ops.MACs*unroll*ffPerMAC + k.Ops.ALUOps*unroll*ffPerALU,
+	}
+	var bufBytes int64
+	for _, b := range k.Buffers {
+		parts := b.Partitions
+		if parts <= 0 {
+			parts = 1
+		}
+		// Partitioning rounds each fragment up to whole BRAMs.
+		perPart := (b.Bytes + int64(parts) - 1) / int64(parts)
+		brams := int64(parts) * ((perPart + bramBytes - 1) / bramBytes)
+		used.BRAM += int(brams)
+		bufBytes += b.Bytes
+	}
+
+	util := fpga.Utilization{
+		FF:   pct(used.FF, d.Total.FF),
+		LUT:  pct(used.LUT, d.Total.LUT),
+		DSP:  pct(used.DSP, d.Total.DSP),
+		BRAM: pct(used.BRAM, d.Total.BRAM),
+	}
+
+	// Frequency: derate as the device fills (routing congestion).
+	maxUtil := math.Max(math.Max(util.FF, util.LUT), math.Max(util.DSP, util.BRAM))
+	freq := k.TargetMHz
+	switch {
+	case maxUtil > 90:
+		freq *= 0.6
+	case maxUtil > 75:
+		freq *= 0.75
+	case maxUtil > 50:
+		freq *= 0.9
+	}
+
+	return &Estimate{
+		Kernel:              k.Name,
+		Device:              d,
+		II:                  ii,
+		Depth:               depth,
+		FreqMHz:             freq,
+		TotalIterations:     iters,
+		StreamBytesPerCycle: float64(k.StreamBytesPerIter*unroll) / float64(ii),
+		Used:                used,
+		Util:                util,
+		Fits:                util.Fits(),
+	}, nil
+}
+
+// Template converts the estimate into a registrable accelerator template.
+// activePowerW should come from a power model or measurement; the
+// performance columns come from the estimate.
+func (e *Estimate) Template(name string, activePowerW float64) (*fpga.Template, error) {
+	if !e.Fits {
+		return nil, fmt.Errorf("hls: kernel %s does not fit %s", e.Kernel, e.Device.Name)
+	}
+	t := &fpga.Template{
+		Name:                name,
+		Device:              e.Device,
+		Util:                e.Util,
+		FreqMHz:             e.FreqMHz,
+		PowerW:              activePowerW,
+		PowerNSW:            activePowerW,
+		MACsPerCycle:        float64(e.Used.DSP) / dspPerMAC / float64(e.II),
+		StreamBytesPerCycle: e.StreamBytesPerCycle,
+		II:                  e.II,
+		Depth:               e.Depth,
+	}
+	if t.MACsPerCycle <= 0 {
+		t.MACsPerCycle = 1
+	}
+	return t, t.Validate()
+}
+
+func pct(used, total int) float64 {
+	if total == 0 {
+		return 100
+	}
+	return float64(used) / float64(total) * 100
+}
+
+func intLog2(v int) int {
+	n := 0
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}

@@ -1,0 +1,202 @@
+package hls
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fpga"
+)
+
+// gemmKernel is a tiled fp32 GeMM: 16×16 PE array, fully unrolled inner
+// dimensions.
+func gemmKernel(unroll int) Kernel {
+	return Kernel{
+		Name:  "gemm-tile",
+		Class: fpga.GeMM,
+		Loops: []Loop{
+			{Name: "m", Trip: 1024, Unroll: 1},
+			{Name: "n", Trip: 1024, Unroll: unroll},
+			{Name: "k", Trip: 96, Unroll: 1},
+		},
+		Ops: OpCounts{MACs: 1, MemReads: 2, MemWrites: 1},
+		Buffers: []Buffer{
+			{Name: "a", Bytes: 96 * 1024 * 4, Partitions: unroll, AccessesPerIter: 1},
+			{Name: "b", Bytes: 96 * 1024 * 4, Partitions: unroll, AccessesPerIter: 1},
+			{Name: "c", Bytes: 1024 * 4, Partitions: unroll, AccessesPerIter: 1},
+		},
+		StreamBytesPerIter: 8,
+		TargetMHz:          300,
+	}
+}
+
+func TestAnalyzeBasics(t *testing.T) {
+	e, err := Analyze(gemmKernel(16), fpga.ZynqZCU9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.II < 1 {
+		t.Errorf("II = %d", e.II)
+	}
+	if e.Depth <= 0 {
+		t.Errorf("depth = %d", e.Depth)
+	}
+	if e.FreqMHz <= 0 || e.FreqMHz > 300 {
+		t.Errorf("freq = %v", e.FreqMHz)
+	}
+	// 1024×64 (n unrolled 16) × 96 iterations.
+	if want := 1024.0 * 64 * 96; e.TotalIterations != want {
+		t.Errorf("iterations = %v, want %v", e.TotalIterations, want)
+	}
+	if !e.Fits {
+		t.Errorf("16-wide GeMM should fit ZCU9: %+v", e.Util)
+	}
+}
+
+func TestUnrollTradesResourcesForThroughput(t *testing.T) {
+	small, err := Analyze(gemmKernel(4), fpga.ZynqZCU9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Analyze(gemmKernel(64), fpga.ZynqZCU9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Used.DSP <= small.Used.DSP {
+		t.Errorf("unroll 64 DSPs (%d) not above unroll 4 (%d)", big.Used.DSP, small.Used.DSP)
+	}
+	if big.TotalIterations >= small.TotalIterations {
+		t.Error("unrolling did not reduce iteration count")
+	}
+	// Effective throughput (unrolled MACs per cycle / II) must improve.
+	smallTp := 4.0 / float64(small.II)
+	bigTp := 64.0 / float64(big.II)
+	if bigTp <= smallTp {
+		t.Errorf("throughput did not scale: %v vs %v", bigTp, smallTp)
+	}
+}
+
+func TestPortLimitedII(t *testing.T) {
+	k := gemmKernel(16)
+	// Starve the arrays of partitions: 16 parallel accesses over one
+	// dual-ported BRAM → II 8.
+	for i := range k.Buffers {
+		k.Buffers[i].Partitions = 1
+	}
+	e, err := Analyze(k, fpga.ZynqZCU9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.II != 8 {
+		t.Errorf("II = %d, want 8 (16 accesses / 2 ports)", e.II)
+	}
+}
+
+func TestFrequencyDeratesWhenFull(t *testing.T) {
+	// A huge unroll on the small device: high utilisation derates clock.
+	e, err := Analyze(gemmKernel(512), fpga.ZynqZCU9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Fits {
+		t.Skip("expected over-full device")
+	}
+	if e.FreqMHz >= 300*0.75 {
+		t.Errorf("freq = %v, want derated below %v", e.FreqMHz, 300*0.75)
+	}
+}
+
+func TestSameKernelOnBiggerDeviceFitsBetter(t *testing.T) {
+	k := gemmKernel(128)
+	onZynq, err := Analyze(k, fpga.ZynqZCU9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	onVirtex, err := Analyze(k, fpga.VirtexVU9P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if onVirtex.Util.DSP >= onZynq.Util.DSP {
+		t.Errorf("Virtex DSP util (%v%%) not below Zynq (%v%%)", onVirtex.Util.DSP, onZynq.Util.DSP)
+	}
+}
+
+func TestTemplateGeneration(t *testing.T) {
+	e, err := Analyze(gemmKernel(16), fpga.ZynqZCU9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tpl, err := e.Template("GEMM-GEN-ZCU9", 5.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tpl.Validate(); err != nil {
+		t.Fatalf("generated template invalid: %v", err)
+	}
+	// Registrable in a fresh registry and usable for timing.
+	reg := fpga.NewRegistry()
+	if err := reg.Register(tpl); err != nil {
+		t.Fatal(err)
+	}
+	if d := tpl.Duration(1e9, 0); d <= 0 {
+		t.Error("generated template cannot time work")
+	}
+	// Over-full kernels cannot become templates.
+	over, err := Analyze(gemmKernel(512), fpga.ZynqZCU9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := over.Template("x", 5); err == nil {
+		t.Error("over-full kernel produced a template")
+	}
+}
+
+func TestAnalyzeValidation(t *testing.T) {
+	if _, err := Analyze(Kernel{Name: "noloops", TargetMHz: 100}, fpga.ZynqZCU9); err == nil {
+		t.Error("loop-less kernel accepted")
+	}
+	k := gemmKernel(4)
+	k.TargetMHz = 0
+	if _, err := Analyze(k, fpga.ZynqZCU9); err == nil {
+		t.Error("zero frequency accepted")
+	}
+	k = gemmKernel(4)
+	k.Loops[0].Trip = 0
+	if _, err := Analyze(k, fpga.ZynqZCU9); err == nil {
+		t.Error("zero trip accepted")
+	}
+}
+
+// Property: II is always ≥1, iterations ≥1, and resources monotone in the
+// MAC count.
+func TestAnalyzeMonotonicity(t *testing.T) {
+	f := func(macs8, unroll8 uint8) bool {
+		macs := int(macs8%8) + 1
+		unroll := 1 << (unroll8 % 5)
+		k := Kernel{
+			Name:  "p",
+			Loops: []Loop{{Name: "i", Trip: 1000, Unroll: unroll}},
+			Ops:   OpCounts{MACs: macs},
+			Buffers: []Buffer{
+				{Name: "b", Bytes: 4096, Partitions: unroll, AccessesPerIter: 1},
+			},
+			TargetMHz: 200,
+		}
+		e, err := Analyze(k, fpga.VirtexVU9P)
+		if err != nil {
+			return false
+		}
+		if e.II < 1 || e.TotalIterations < 1 {
+			return false
+		}
+		k2 := k
+		k2.Ops.MACs = macs + 1
+		e2, err := Analyze(k2, fpga.VirtexVU9P)
+		if err != nil {
+			return false
+		}
+		return e2.Used.DSP >= e.Used.DSP && e2.Used.LUT >= e.Used.LUT
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

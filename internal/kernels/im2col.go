@@ -1,0 +1,62 @@
+package kernels
+
+import "fmt"
+
+// im2col-based convolution: the lowering used by GeMM-centric accelerators
+// (the paper's on-chip CNN kernel follows Caffeine [24], which maps
+// convolution onto a unified GeMM engine). Functionally equivalent to the
+// direct Conv2D; provided both as a second implementation for
+// cross-checking and as the natural kernel shape for the FPGA GeMM
+// datapath.
+
+// Im2Col lowers a CHW tensor into the (inC·K·K) × (H·W) patch matrix of a
+// same-padded, stride-1, K×K convolution.
+func Im2Col(in *Tensor3, k int) *Matrix {
+	if k <= 0 {
+		panic("kernels: Im2Col kernel size must be positive")
+	}
+	pad := k / 2
+	rows := in.C * k * k
+	cols := in.H * in.W
+	m := NewMatrix(rows, cols)
+	for c := 0; c < in.C; c++ {
+		for ky := 0; ky < k; ky++ {
+			for kx := 0; kx < k; kx++ {
+				r := (c*k+ky)*k + kx
+				row := m.Row(r)
+				for y := 0; y < in.H; y++ {
+					sy := y + ky - pad
+					for x := 0; x < in.W; x++ {
+						sx := x + kx - pad
+						if sy < 0 || sy >= in.H || sx < 0 || sx >= in.W {
+							continue // zero padding
+						}
+						row[y*in.W+x] = in.At(c, sy, sx)
+					}
+				}
+			}
+		}
+	}
+	return m
+}
+
+// Conv2DGeMM computes the same result as Conv2D via im2col + GeMM.
+func Conv2DGeMM(in *Tensor3, p *ConvParams) *Tensor3 {
+	if in.C != p.InC {
+		panic(fmt.Sprintf("kernels: Conv2DGeMM channel mismatch %d vs %d", in.C, p.InC))
+	}
+	patches := Im2Col(in, p.K) // (inC·K·K) × (H·W)
+	// Weights as OutC × (inC·K·K).
+	w := &Matrix{Rows: p.OutC, Cols: p.InC * p.K * p.K, Data: p.Weights}
+	prod := GeMM(w, patches) // OutC × (H·W)
+	out := NewTensor3(p.OutC, in.H, in.W)
+	for o := 0; o < p.OutC; o++ {
+		row := prod.Row(o)
+		bias := p.Bias[o]
+		dst := out.Data[o*in.H*in.W : (o+1)*in.H*in.W]
+		for i := range dst {
+			dst[i] = row[i] + bias
+		}
+	}
+	return out
+}

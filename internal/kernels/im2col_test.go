@@ -1,0 +1,152 @@
+package kernels
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIm2ColShape(t *testing.T) {
+	in := NewTensor3(3, 5, 7)
+	m := Im2Col(in, 3)
+	if m.Rows != 3*9 || m.Cols != 35 {
+		t.Errorf("im2col shape %dx%d, want 27x35", m.Rows, m.Cols)
+	}
+}
+
+func TestIm2ColCentreTapIsIdentity(t *testing.T) {
+	in := NewTensor3(1, 4, 4)
+	for i := range in.Data {
+		in.Data[i] = float32(i + 1)
+	}
+	m := Im2Col(in, 3)
+	// Row 4 (ky=1, kx=1 for channel 0) is the unshifted image.
+	row := m.Row(4)
+	for i := range in.Data {
+		if row[i] != in.Data[i] {
+			t.Fatalf("centre-tap row differs at %d: %v vs %v", i, row[i], in.Data[i])
+		}
+	}
+	// Row 0 (ky=0, kx=0) is the image shifted down-right with zero fill:
+	// its first row and column are zero.
+	r0 := m.Row(0)
+	for x := 0; x < 4; x++ {
+		if r0[x] != 0 {
+			t.Errorf("padding not zero at col %d: %v", x, r0[x])
+		}
+	}
+}
+
+// Property: Conv2DGeMM and the direct Conv2D agree on random inputs —
+// two independent implementations cross-validate each other.
+func TestConvImplementationsAgree(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		inC := 1 + rng.Intn(3)
+		outC := 1 + rng.Intn(4)
+		h := 3 + rng.Intn(6)
+		w := 3 + rng.Intn(6)
+		k := []int{1, 3, 5}[rng.Intn(3)]
+
+		in := NewTensor3(inC, h, w)
+		for i := range in.Data {
+			in.Data[i] = rng.Float32() - 0.5
+		}
+		p := NewConvParams(outC, inC, k)
+		for i := range p.Weights {
+			p.Weights[i] = rng.Float32() - 0.5
+		}
+		for i := range p.Bias {
+			p.Bias[i] = rng.Float32()
+		}
+
+		direct := Conv2D(in, p)
+		gemm := Conv2DGeMM(in, p)
+		for i := range direct.Data {
+			d := direct.Data[i] - gemm.Data[i]
+			if d < -1e-4 || d > 1e-4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConv2DGeMMChannelMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("channel mismatch accepted")
+		}
+	}()
+	Conv2DGeMM(NewTensor3(2, 4, 4), NewConvParams(1, 3, 3))
+}
+
+func BenchmarkConv2DDirect(b *testing.B) {
+	in := NewTensor3(8, 32, 32)
+	p := NewConvParams(16, 8, 3)
+	for i := range p.Weights {
+		p.Weights[i] = 0.01
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Conv2D(in, p)
+	}
+}
+
+func BenchmarkConv2DGeMM(b *testing.B) {
+	in := NewTensor3(8, 32, 32)
+	p := NewConvParams(16, 8, 3)
+	for i := range p.Weights {
+		p.Weights[i] = 0.01
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Conv2DGeMM(in, p)
+	}
+}
+
+func BenchmarkGeMM128(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	a := NewMatrix(128, 128)
+	c := NewMatrix(128, 128)
+	for i := range a.Data {
+		a.Data[i] = rng.Float32()
+		c.Data[i] = rng.Float32()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GeMM(a, c)
+	}
+}
+
+func BenchmarkTopK(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	dists := make([]float32, 4096)
+	for i := range dists {
+		dists[i] = rng.Float32()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sel := NewTopK(10)
+		for id, d := range dists {
+			sel.Offer(id, d)
+		}
+		sel.Results()
+	}
+}
+
+func BenchmarkSquaredL2(b *testing.B) {
+	p := make([]float32, 96)
+	q := make([]float32, 96)
+	for i := range p {
+		p[i] = float32(i)
+		q[i] = float32(i) * 0.5
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SquaredL2(p, q)
+	}
+}

@@ -1,0 +1,203 @@
+package mem
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Request is one line-granularity memory access submitted to a Controller.
+type Request struct {
+	Addr   int64
+	Write  bool
+	Done   func(completed sim.Time)
+	issued sim.Time
+}
+
+// Controller is an FR-FCFS (first-ready, first-come-first-served) memory
+// controller with bounded read and write queues, matching the paper's
+// Table II (64/64-entry read/write request queues). FR-FCFS prioritises
+// requests that hit an open row, falling back to the oldest request.
+type Controller struct {
+	eng   *sim.Engine
+	name  string
+	dimms []*DIMM
+
+	readQ  []*Request
+	writeQ []*Request
+	readQDepth,
+	writeQDepth int
+
+	busy bool
+
+	// interleave maps request addresses to DIMMs. Cacheline interleaving
+	// spreads consecutive lines across DIMMs (high aggregate bandwidth to
+	// the chip); tile interleaving keeps large contiguous tiles on one
+	// DIMM (what GAM programs for near-memory kernels, §III-B).
+	interleave  InterleavePolicy
+	tileBytes   int64
+	served      uint64
+	stallEvents uint64
+}
+
+// InterleavePolicy selects how addresses map to DIMMs behind a controller.
+type InterleavePolicy int
+
+const (
+	// InterleaveCacheline stripes consecutive cache lines across DIMMs.
+	InterleaveCacheline InterleavePolicy = iota
+	// InterleaveTile keeps tiles of tileBytes contiguous on one DIMM.
+	InterleaveTile
+)
+
+func (p InterleavePolicy) String() string {
+	switch p {
+	case InterleaveCacheline:
+		return "cacheline"
+	case InterleaveTile:
+		return "tile"
+	default:
+		return fmt.Sprintf("InterleavePolicy(%d)", int(p))
+	}
+}
+
+// NewController builds a controller over the given DIMMs.
+func NewController(eng *sim.Engine, name string, dimms []*DIMM, readQ, writeQ int) *Controller {
+	if len(dimms) == 0 {
+		panic("mem: controller needs at least one DIMM")
+	}
+	if readQ <= 0 || writeQ <= 0 {
+		panic("mem: queue depths must be positive")
+	}
+	return &Controller{
+		eng:         eng,
+		name:        name,
+		dimms:       dimms,
+		readQDepth:  readQ,
+		writeQDepth: writeQ,
+		interleave:  InterleaveCacheline,
+		tileBytes:   1 << 20,
+	}
+}
+
+// SetInterleave reprograms the address mapping — the memory-space
+// reorganisation GAM performs when near-memory kernels launch (§III-B).
+// tileBytes is used only by InterleaveTile.
+func (c *Controller) SetInterleave(p InterleavePolicy, tileBytes int64) {
+	c.interleave = p
+	if tileBytes > 0 {
+		c.tileBytes = tileBytes
+	}
+}
+
+// Interleave reports the current policy.
+func (c *Controller) Interleave() InterleavePolicy { return c.interleave }
+
+// dimmFor maps an address to its DIMM under the current policy.
+func (c *Controller) dimmFor(addr int64) *DIMM {
+	n := int64(len(c.dimms))
+	switch c.interleave {
+	case InterleaveTile:
+		return c.dimms[(addr/c.tileBytes)%n]
+	default:
+		line := addr / c.dimms[0].geom.LineSize
+		return c.dimms[line%n]
+	}
+}
+
+// Submit enqueues a request. It reports false (and drops the request) when
+// the corresponding queue is full — callers model back-pressure by retrying
+// after a delay. Done fires at the request's completion time.
+func (c *Controller) Submit(r *Request) bool {
+	if r == nil {
+		panic("mem: nil request")
+	}
+	q := &c.readQ
+	depth := c.readQDepth
+	if r.Write {
+		q = &c.writeQ
+		depth = c.writeQDepth
+	}
+	if len(*q) >= depth {
+		c.stallEvents++
+		return false
+	}
+	r.issued = c.eng.Now()
+	*q = append(*q, r)
+	if !c.busy {
+		c.busy = true
+		c.eng.Schedule(0, c.arbitrate)
+	}
+	return true
+}
+
+// arbitrate issues one request per invocation using FR-FCFS and
+// re-schedules itself while work remains. Reads have priority over writes
+// unless the write queue is above half occupancy (write drain), a common
+// controller heuristic.
+func (c *Controller) arbitrate() {
+	r := c.pick()
+	if r == nil {
+		c.busy = false
+		return
+	}
+	d := c.dimmFor(r.Addr)
+	done := d.Access(r.Addr, r.Write)
+	c.served++
+	if r.Done != nil {
+		c.eng.At(done, func() { r.Done(done) })
+	}
+	// Issue the next request once this one's command slot is consumed.
+	// Approximating the command bus as one issue per burst slot keeps
+	// arbitration events bounded by request count.
+	next := c.eng.Now() + d.timing.BurstTime()
+	if done < next {
+		next = done
+	}
+	c.eng.At(next, c.arbitrate)
+}
+
+// pick selects the next request: row-hit first (FR), then oldest (FCFS).
+func (c *Controller) pick() *Request {
+	drainWrites := len(c.writeQ) > c.writeQDepth/2 || len(c.readQ) == 0
+	primary, secondary := &c.readQ, &c.writeQ
+	if drainWrites && len(c.writeQ) > 0 {
+		primary, secondary = &c.writeQ, &c.readQ
+	}
+	for _, q := range []*[]*Request{primary, secondary} {
+		if len(*q) == 0 {
+			continue
+		}
+		// First ready: earliest queued request whose row is open AND whose
+		// bank is available no later than the oldest request's bank — a
+		// row hit on a busy bank must not jump a ready oldest request.
+		oldestReady := c.dimmFor((*q)[0].Addr).bankReady((*q)[0].Addr)
+		for i, r := range *q {
+			d := c.dimmFor(r.Addr)
+			bi, row := d.decode(r.Addr)
+			if d.banks[bi].openRow == row && d.banks[bi].readyAt <= oldestReady {
+				*q = append((*q)[:i], (*q)[i+1:]...)
+				return r
+			}
+		}
+		// Fall back to the oldest.
+		r := (*q)[0]
+		*q = (*q)[1:]
+		return r
+	}
+	return nil
+}
+
+// QueueOccupancy reports current read/write queue lengths.
+func (c *Controller) QueueOccupancy() (reads, writes int) {
+	return len(c.readQ), len(c.writeQ)
+}
+
+// Served reports completed requests.
+func (c *Controller) Served() uint64 { return c.served }
+
+// StallEvents reports how many submissions were rejected on full queues.
+func (c *Controller) StallEvents() uint64 { return c.stallEvents }
+
+// DIMMs exposes the controller's DIMMs (read-only use).
+func (c *Controller) DIMMs() []*DIMM { return c.dimms }

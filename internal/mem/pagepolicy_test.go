@@ -1,0 +1,97 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// runTrace streams a fixed access trace through a single-DIMM controller
+// and returns the finish time.
+func runTrace(t *testing.T, policy PagePolicy, addrs []int64) sim.Time {
+	t.Helper()
+	eng := sim.NewEngine()
+	d := NewDIMM(eng, "d", noRefresh(), DefaultGeometry())
+	d.SetPagePolicy(policy)
+	c := NewController(eng, "mc", []*DIMM{d}, 64, 64)
+	next := 0
+	var finish sim.Time
+	var submit func()
+	submit = func() {
+		for next < len(addrs) {
+			ok := c.Submit(&Request{Addr: addrs[next], Done: func(at sim.Time) {
+				if at > finish {
+					finish = at
+				}
+				submit()
+			}})
+			if !ok {
+				return
+			}
+			next++
+		}
+	}
+	submit()
+	eng.Run()
+	return finish
+}
+
+func TestPagePolicyString(t *testing.T) {
+	if OpenPage.String() != "open-page" || ClosedPage.String() != "closed-page" {
+		t.Error("policy strings wrong")
+	}
+}
+
+func TestSequentialStreamsBusBoundUnderBothPolicies(t *testing.T) {
+	// With activation lookahead, a sequential stream saturates the data
+	// bus under either policy (activations hide under earlier bursts), so
+	// the policies must be within a whisker of each other and of the
+	// bus-bound lower bound.
+	addrs := make([]int64, 4096)
+	for i := range addrs {
+		addrs[i] = int64(i) * 64
+	}
+	open := runTrace(t, OpenPage, addrs)
+	closed := runTrace(t, ClosedPage, addrs)
+	busBound := sim.FromSeconds(4096 * 64 / DDR42400().PeakBandwidth())
+	for name, got := range map[string]sim.Time{"open": open, "closed": closed} {
+		if got < busBound {
+			t.Errorf("%s page beat the bus bound: %v < %v", name, got, busBound)
+		}
+		if float64(got) > float64(busBound)*1.05 {
+			t.Errorf("%s page = %v, want within 5%% of bus bound %v", name, got, busBound)
+		}
+	}
+}
+
+func TestClosedPageWinsOnRandomTraffic(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	addrs := make([]int64, 4096)
+	for i := range addrs {
+		// Random rows within one bank-heavy region: open page suffers
+		// conflicts (tRAS + tRP before reactivation), closed page pays
+		// only tRCD.
+		addrs[i] = int64(rng.Intn(1<<20)) &^ 63
+	}
+	open := runTrace(t, OpenPage, addrs)
+	closed := runTrace(t, ClosedPage, addrs)
+	if closed >= open {
+		t.Errorf("closed page (%v) not faster than open page (%v) on random traffic", closed, open)
+	}
+}
+
+func TestClosedPageLeavesRowsClosed(t *testing.T) {
+	eng := sim.NewEngine()
+	d := NewDIMM(eng, "d", noRefresh(), DefaultGeometry())
+	d.SetPagePolicy(ClosedPage)
+	d.Access(0, false)
+	for i := range d.banks {
+		if d.banks[i].openRow != -1 {
+			t.Fatalf("bank %d row open under closed-page policy", i)
+		}
+	}
+	if d.PagePolicy() != ClosedPage {
+		t.Error("policy getter wrong")
+	}
+}

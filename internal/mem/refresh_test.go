@@ -1,0 +1,93 @@
+package mem
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// noRefresh returns timing with refresh disabled, for A/B comparisons.
+func noRefresh() DDR4Timing {
+	t := DDR42400()
+	t.TREFI = 0
+	return t
+}
+
+func TestRefreshStealsBandwidth(t *testing.T) {
+	stream := func(timing DDR4Timing) (sim.Time, uint64) {
+		eng := sim.NewEngine()
+		d := NewDIMM(eng, "d", timing, DefaultGeometry())
+		c := NewController(eng, "mc", []*DIMM{d}, 64, 64)
+		const lines = 8192
+		next := 0
+		var finish sim.Time
+		var submit func()
+		submit = func() {
+			for next < lines {
+				ok := c.Submit(&Request{Addr: int64(next) * 64, Done: func(at sim.Time) {
+					if at > finish {
+						finish = at
+					}
+					submit()
+				}})
+				if !ok {
+					return
+				}
+				next++
+			}
+		}
+		submit()
+		eng.Run()
+		return finish, d.Refreshes()
+	}
+
+	withRef, refs := stream(DDR42400())
+	without, zeroRefs := stream(noRefresh())
+	if zeroRefs != 0 {
+		t.Errorf("refresh-disabled DIMM issued %d REFs", zeroRefs)
+	}
+	if refs == 0 {
+		t.Error("no refreshes during a multi-tREFI stream")
+	}
+	if withRef <= without {
+		t.Errorf("refresh did not slow the stream: %v vs %v", withRef, without)
+	}
+	// Raw tRFC/tREFI is ≈4.5 %; with activation lookahead most of the
+	// post-refresh row reopening hides under the data bus, so the
+	// measured loss lands in the low single digits.
+	loss := float64(withRef-without) / float64(without)
+	if loss <= 0.005 || loss > 0.10 {
+		t.Errorf("refresh bandwidth loss = %.1f%%, want in (0.5%%, 10%%]", loss*100)
+	}
+}
+
+func TestRefreshClosesRows(t *testing.T) {
+	eng := sim.NewEngine()
+	timing := DDR42400()
+	d := NewDIMM(eng, "d", timing, DefaultGeometry())
+	// Open a row, then jump past several refresh intervals.
+	done := d.Access(0, false)
+	eng.RunUntil(done + 3*timing.TREFI)
+	// The row must have been closed by refresh: the next same-row access
+	// pays activation again (row miss).
+	hitsBefore := d.banks[0].rowHits
+	d.Access(0, false)
+	if d.banks[0].rowHits != hitsBefore {
+		t.Error("access after refresh hit a row that refresh should have closed")
+	}
+	if d.Refreshes() < 3 {
+		t.Errorf("refreshes = %d, want >= 3 after 3 tREFI", d.Refreshes())
+	}
+}
+
+func TestRefreshDisabledKeepsRowsOpen(t *testing.T) {
+	eng := sim.NewEngine()
+	d := NewDIMM(eng, "d", noRefresh(), DefaultGeometry())
+	done := d.Access(0, false)
+	eng.RunUntil(done + 100*sim.Microsecond)
+	hitsBefore := d.banks[0].rowHits
+	d.Access(0, false)
+	if d.banks[0].rowHits != hitsBefore+1 {
+		t.Error("row closed without refresh enabled")
+	}
+}

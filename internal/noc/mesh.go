@@ -1,0 +1,175 @@
+package noc
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Mesh is a 2-D mesh interconnect with dimension-ordered (XY) routing —
+// the topology class of large accelerator-rich SoCs like the ones PARADE
+// models, provided as an alternative to the Crossbar for studying how NoC
+// topology affects on-chip accelerator bandwidth. Each directed link
+// between neighbouring routers is a contended resource; a transfer
+// occupies every link on its route in sequence, with one hop latency per
+// router traversed.
+type Mesh struct {
+	eng        *sim.Engine
+	name       string
+	cols, rows int
+	hopLatency sim.Time
+
+	// links[from][to] for neighbouring router indices.
+	links map[int]map[int]*sim.Link
+
+	endpoints map[string]int // endpoint name → router index
+
+	transfers  uint64
+	totalBytes uint64
+	totalHops  uint64
+}
+
+// NewMesh builds a cols×rows mesh whose every directed neighbour link has
+// the given bandwidth.
+func NewMesh(eng *sim.Engine, name string, cols, rows int, linkBytesPerSec float64, hopLatency sim.Time) *Mesh {
+	if cols <= 0 || rows <= 0 {
+		panic("noc: mesh needs positive dimensions")
+	}
+	m := &Mesh{
+		eng:        eng,
+		name:       name,
+		cols:       cols,
+		rows:       rows,
+		hopLatency: hopLatency,
+		links:      make(map[int]map[int]*sim.Link),
+		endpoints:  make(map[string]int),
+	}
+	addLink := func(a, b int) {
+		if m.links[a] == nil {
+			m.links[a] = make(map[int]*sim.Link)
+		}
+		m.links[a][b] = sim.NewLink(eng, fmt.Sprintf("%s.%d-%d", name, a, b), linkBytesPerSec, 0)
+	}
+	for y := 0; y < rows; y++ {
+		for x := 0; x < cols; x++ {
+			id := y*cols + x
+			if x+1 < cols {
+				addLink(id, id+1)
+				addLink(id+1, id)
+			}
+			if y+1 < rows {
+				addLink(id, id+cols)
+				addLink(id+cols, id)
+			}
+		}
+	}
+	return m
+}
+
+// Size reports the mesh dimensions.
+func (m *Mesh) Size() (cols, rows int) { return m.cols, m.rows }
+
+// Attach binds an endpoint name to the router at (x, y).
+func (m *Mesh) Attach(name string, x, y int) error {
+	if x < 0 || x >= m.cols || y < 0 || y >= m.rows {
+		return fmt.Errorf("noc: (%d,%d) outside %dx%d mesh", x, y, m.cols, m.rows)
+	}
+	if _, dup := m.endpoints[name]; dup {
+		return fmt.Errorf("noc: endpoint %q already attached", name)
+	}
+	m.endpoints[name] = y*m.cols + x
+	return nil
+}
+
+// route returns the XY route between two router indices (exclusive of
+// src, inclusive of dst).
+func (m *Mesh) route(src, dst int) []int {
+	var path []int
+	x, y := src%m.cols, src/m.cols
+	dx, dy := dst%m.cols, dst/m.cols
+	for x != dx {
+		if x < dx {
+			x++
+		} else {
+			x--
+		}
+		path = append(path, y*m.cols+x)
+	}
+	for y != dy {
+		if y < dy {
+			y++
+		} else {
+			y--
+		}
+		path = append(path, y*m.cols+x)
+	}
+	return path
+}
+
+// Hops reports the XY hop count between two endpoints.
+func (m *Mesh) Hops(src, dst string) (int, error) {
+	s, ok := m.endpoints[src]
+	if !ok {
+		return 0, fmt.Errorf("noc: unknown endpoint %q", src)
+	}
+	d, ok := m.endpoints[dst]
+	if !ok {
+		return 0, fmt.Errorf("noc: unknown endpoint %q", dst)
+	}
+	return len(m.route(s, d)), nil
+}
+
+// Transfer moves n bytes between endpoints over the XY route and returns
+// the completion time: the payload is pipelined hop by hop, so the
+// occupancy is paid on every link (wormhole-style), with total latency of
+// route-length hops plus the serialisation on the most-contended link.
+func (m *Mesh) Transfer(src, dst string, n int64) (sim.Time, error) {
+	s, ok := m.endpoints[src]
+	if !ok {
+		return 0, fmt.Errorf("noc: unknown endpoint %q", src)
+	}
+	d, ok := m.endpoints[dst]
+	if !ok {
+		return 0, fmt.Errorf("noc: unknown endpoint %q", dst)
+	}
+	if s == d {
+		return m.eng.Now() + m.hopLatency, nil
+	}
+	path := m.route(s, d)
+	var done sim.Time
+	prev := s
+	for _, next := range path {
+		l := m.links[prev][next]
+		if t := l.Transfer(n); t > done {
+			done = t
+		}
+		prev = next
+	}
+	if n > 0 {
+		m.transfers++
+		m.totalBytes += uint64(n)
+		m.totalHops += uint64(len(path))
+	}
+	return done + sim.Time(len(path))*m.hopLatency, nil
+}
+
+// TotalBytes reports payload moved.
+func (m *Mesh) TotalBytes() uint64 { return m.totalBytes }
+
+// MeanHops reports the average route length of transfers so far.
+func (m *Mesh) MeanHops() float64 {
+	if m.transfers == 0 {
+		return 0
+	}
+	return float64(m.totalHops) / float64(m.transfers)
+}
+
+// LinkUtilization reports the utilisation of the directed link between
+// neighbouring routers (a,b)→ returns 0 for non-neighbours.
+func (m *Mesh) LinkUtilization(ax, ay, bx, by int) float64 {
+	a, b := ay*m.cols+ax, by*m.cols+bx
+	if m.links[a] == nil || m.links[a][b] == nil {
+		return 0
+	}
+	return m.links[a][b].Utilization()
+}

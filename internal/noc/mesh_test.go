@@ -1,0 +1,170 @@
+package noc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func newMesh(t *testing.T) *Mesh {
+	t.Helper()
+	eng := sim.NewEngine()
+	m := NewMesh(eng, "mesh", 4, 4, 25e9, 10*sim.Nanosecond)
+	for _, ep := range []struct {
+		name string
+		x, y int
+	}{
+		{"cpu", 0, 0}, {"llc", 1, 0}, {"acc", 3, 0}, {"gam", 0, 1}, {"mc0", 3, 3},
+	} {
+		if err := m.Attach(ep.name, ep.x, ep.y); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return m
+}
+
+func TestMeshHops(t *testing.T) {
+	m := newMesh(t)
+	cases := []struct {
+		src, dst string
+		want     int
+	}{
+		{"cpu", "llc", 1},
+		{"cpu", "acc", 3},
+		{"cpu", "mc0", 6}, // 3 in X + 3 in Y
+		{"llc", "gam", 2},
+	}
+	for _, c := range cases {
+		got, err := m.Hops(c.src, c.dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("hops(%s,%s) = %d, want %d", c.src, c.dst, got, c.want)
+		}
+	}
+	if _, err := m.Hops("cpu", "nope"); err == nil {
+		t.Error("unknown endpoint accepted")
+	}
+}
+
+func TestMeshTransferLatencyGrowsWithDistance(t *testing.T) {
+	m := newMesh(t)
+	near, err := m.Transfer("cpu", "llc", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := newMesh(t)
+	far, err := m2.Transfer("cpu", "mc0", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if far <= near {
+		t.Errorf("6-hop transfer (%v) not slower than 1-hop (%v)", far, near)
+	}
+}
+
+func TestMeshContentionOnSharedLink(t *testing.T) {
+	m := newMesh(t)
+	// cpu(0,0)→acc(3,0) and llc(1,0)→acc(3,0) share the (2,0)→(3,0) link.
+	n := int64(1 << 20)
+	t1, _ := m.Transfer("cpu", "acc", n)
+	t2, _ := m.Transfer("llc", "acc", n)
+	if t2 <= t1 {
+		t.Errorf("overlapping routes did not contend: %v then %v", t2, t1)
+	}
+	if u := m.LinkUtilization(2, 0, 3, 0); u <= 0 {
+		t.Errorf("shared link utilisation = %v", u)
+	}
+	// Disjoint routes do not contend: gam(0,1)→mc0(3,3) is unaffected by
+	// the row-0 traffic except where XY routes overlap (they don't).
+	m3 := newMesh(t)
+	a, _ := m3.Transfer("cpu", "acc", n)
+	b, _ := m3.Transfer("gam", "mc0", n)
+	if b > a+sim.Microsecond {
+		t.Errorf("disjoint transfer delayed: %v vs %v", b, a)
+	}
+}
+
+func TestMeshAttachValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	m := NewMesh(eng, "m", 2, 2, 1e9, 0)
+	if err := m.Attach("a", 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Attach("a", 1, 1); err == nil {
+		t.Error("duplicate endpoint accepted")
+	}
+	if err := m.Attach("b", 5, 0); err == nil {
+		t.Error("out-of-range position accepted")
+	}
+	if _, err := m.Transfer("a", "zzz", 10); err == nil {
+		t.Error("transfer to unknown endpoint accepted")
+	}
+}
+
+func TestMeshLoopback(t *testing.T) {
+	eng := sim.NewEngine()
+	m := NewMesh(eng, "m", 2, 2, 1e9, 7*sim.Nanosecond)
+	m.Attach("a", 1, 1)
+	done, err := m.Transfer("a", "a", 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done != 7*sim.Nanosecond {
+		t.Errorf("loopback = %v, want hop latency only", done)
+	}
+}
+
+// Property: XY routes have exactly |dx|+|dy| hops and are identical for
+// repeated queries (deterministic routing).
+func TestMeshRouteProperty(t *testing.T) {
+	eng := sim.NewEngine()
+	m := NewMesh(eng, "m", 8, 8, 1e9, 0)
+	f := func(sx, sy, dx, dy uint8) bool {
+		a := int(sx%8) + int(sy%8)*8
+		b := int(dx%8) + int(dy%8)*8
+		p1 := m.route(a, b)
+		p2 := m.route(a, b)
+		if len(p1) != len(p2) {
+			return false
+		}
+		for i := range p1 {
+			if p1[i] != p2[i] {
+				return false
+			}
+		}
+		wantLen := abs(int(sx%8)-int(dx%8)) + abs(int(sy%8)-int(dy%8))
+		if len(p1) != wantLen {
+			return false
+		}
+		// Route must end at the destination.
+		return wantLen == 0 || p1[len(p1)-1] == b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeshAccounting(t *testing.T) {
+	m := newMesh(t)
+	m.Transfer("cpu", "acc", 100)
+	m.Transfer("cpu", "mc0", 100)
+	if m.TotalBytes() != 200 {
+		t.Errorf("bytes = %d", m.TotalBytes())
+	}
+	if mh := m.MeanHops(); mh != 4.5 { // (3+6)/2
+		t.Errorf("mean hops = %v, want 4.5", mh)
+	}
+	if u := m.LinkUtilization(0, 0, 3, 3); u != 0 {
+		t.Error("non-neighbour link utilisation not 0")
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,112 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := &Table{
+		Title:   "Sample",
+		Columns: []string{"name", "value"},
+	}
+	t.AddRow("alpha", "1")
+	t.AddRow("beta-long-name", "22.5")
+	t.AddRow("gamma") // short row padded
+	t.AddNote("n = %d", 3)
+	return t
+}
+
+func TestRenderAlignment(t *testing.T) {
+	var sb strings.Builder
+	if err := sample().Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(out, "\n")
+	if lines[0] != "Sample" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "====") {
+		t.Errorf("underline = %q", lines[1])
+	}
+	// Values column must start at the same offset on each row.
+	hdr := lines[2]
+	valCol := strings.Index(hdr, "value")
+	if valCol < 0 {
+		t.Fatalf("header %q missing value column", hdr)
+	}
+	for _, row := range lines[4:6] {
+		if len(row) > valCol {
+			cell := row[valCol:]
+			if strings.HasPrefix(cell, " ") {
+				t.Errorf("row %q misaligned at column %d", row, valCol)
+			}
+		}
+	}
+	if !strings.Contains(out, "note: n = 3") {
+		t.Error("note missing")
+	}
+	// No trailing spaces on any line.
+	for i, l := range lines {
+		if strings.HasSuffix(l, " ") {
+			t.Errorf("line %d has trailing spaces: %q", i, l)
+		}
+	}
+}
+
+func TestCSV(t *testing.T) {
+	var sb strings.Builder
+	if err := sample().CSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "# Sample\n") {
+		t.Errorf("missing title comment: %q", out[:20])
+	}
+	if !strings.Contains(out, "name,value\n") {
+		t.Error("missing header row")
+	}
+	if !strings.Contains(out, "beta-long-name,22.5\n") {
+		t.Error("missing data row")
+	}
+	if !strings.Contains(out, "# n = 3\n") {
+		t.Error("missing note comment")
+	}
+}
+
+func TestAddRowPadsAndTruncates(t *testing.T) {
+	tab := &Table{Columns: []string{"a", "b"}}
+	tab.AddRow("1", "2", "3") // extra cell dropped
+	tab.AddRow("only")        // short row padded
+	if len(tab.Rows[0]) != 2 || tab.Rows[0][1] != "2" {
+		t.Errorf("row 0 = %v", tab.Rows[0])
+	}
+	if len(tab.Rows[1]) != 2 || tab.Rows[1][1] != "" {
+		t.Errorf("row 1 = %v", tab.Rows[1])
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F(1.23456, 2) != "1.23" {
+		t.Errorf("F = %q", F(1.23456, 2))
+	}
+	if Ms(0.1234) != "123.4" {
+		t.Errorf("Ms = %q", Ms(0.1234))
+	}
+	if Pct(0.527) != "52.7%" {
+		t.Errorf("Pct = %q", Pct(0.527))
+	}
+}
+
+func TestRenderWithoutTitle(t *testing.T) {
+	tab := &Table{Columns: []string{"x"}}
+	tab.AddRow("1")
+	var sb strings.Builder
+	if err := tab.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.HasPrefix(sb.String(), "\n=") {
+		t.Error("untitled table rendered a title block")
+	}
+}

@@ -1,0 +1,53 @@
+package sim
+
+import "testing"
+
+// BenchmarkEngineEvents measures raw event dispatch throughput — the
+// simulator's fundamental cost unit.
+func BenchmarkEngineEvents(b *testing.B) {
+	e := NewEngine()
+	var fire func()
+	count := 0
+	fire = func() {
+		count++
+		if count < b.N {
+			e.Schedule(Nanosecond, fire)
+		}
+	}
+	b.ResetTimer()
+	e.Schedule(0, fire)
+	e.Run()
+}
+
+// BenchmarkEngineFanOut measures heap behaviour with many pending events.
+func BenchmarkEngineFanOut(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		for j := 0; j < 1000; j++ {
+			e.Schedule(Time(j%97)*Nanosecond, func() {})
+		}
+		e.Run()
+	}
+}
+
+// BenchmarkLinkTransfers measures the contended-link fast path.
+func BenchmarkLinkTransfers(b *testing.B) {
+	e := NewEngine()
+	l := NewLink(e, "bench", 1e9, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Transfer(4096)
+	}
+}
+
+// BenchmarkTokenQueue measures the stream-buffer primitive.
+func BenchmarkTokenQueue(b *testing.B) {
+	e := NewEngine()
+	q := NewTokenQueue(e, "bench", 8)
+	sink := func(any) {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Put(i, nil)
+		q.Get(sink)
+	}
+}

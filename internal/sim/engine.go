@@ -1,0 +1,174 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a scheduled callback in the simulation calendar. Events are
+// created by Engine.At and Engine.Schedule and may be cancelled before they
+// fire.
+type Event struct {
+	at     Time
+	seq    uint64 // tie-breaker: FIFO among same-time events
+	fn     func()
+	index  int // heap index, -1 once popped or cancelled
+	cancel bool
+}
+
+// When reports the simulated time the event is scheduled for.
+func (ev *Event) When() Time { return ev.at }
+
+// Cancel prevents the event from firing. Cancelling an event that already
+// fired (or was already cancelled) is a no-op.
+func (ev *Event) Cancel() { ev.cancel = true }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a single-threaded discrete-event simulation kernel. All model
+// components attached to an Engine share its virtual clock; the engine
+// dispatches events in nondecreasing time order, FIFO among ties.
+//
+// The engine is deliberately not safe for concurrent use: determinism is a
+// core requirement for the reproducibility of the experiments, so the whole
+// simulation executes on one goroutine.
+type Engine struct {
+	now      Time
+	seq      uint64
+	pq       eventHeap
+	executed uint64
+	running  bool
+}
+
+// NewEngine returns an engine with the clock at time zero and an empty
+// calendar.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now reports the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Executed reports how many events have been dispatched so far; useful for
+// progress reporting and as a runaway-simulation guard in tests.
+func (e *Engine) Executed() uint64 { return e.executed }
+
+// Pending reports the number of events currently scheduled (including
+// cancelled events not yet reaped).
+func (e *Engine) Pending() int { return len(e.pq) }
+
+// At schedules fn to run at absolute simulated time t. Scheduling in the
+// past panics: it always indicates a model bug, and silently clamping would
+// corrupt causality.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	if fn == nil {
+		panic("sim: scheduling nil callback")
+	}
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.pq, ev)
+	return ev
+}
+
+// Schedule schedules fn to run after delay from the current time.
+// A negative delay panics.
+func (e *Engine) Schedule(delay Time, fn func()) *Event {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", delay))
+	}
+	return e.At(e.now+delay, fn)
+}
+
+// Step dispatches the single earliest event. It reports false when the
+// calendar is empty.
+func (e *Engine) Step() bool {
+	for len(e.pq) > 0 {
+		ev := heap.Pop(&e.pq).(*Event)
+		if ev.cancel {
+			continue
+		}
+		e.now = ev.at
+		e.executed++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run dispatches events until the calendar drains. It panics on re-entrant
+// invocation (calling Run from inside an event callback).
+func (e *Engine) Run() {
+	e.RunUntil(MaxTime)
+}
+
+// RunUntil dispatches events with time ≤ deadline, then advances the clock
+// to min(deadline, time of last event). Events scheduled beyond the deadline
+// stay in the calendar.
+func (e *Engine) RunUntil(deadline Time) {
+	if e.running {
+		panic("sim: re-entrant Run")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for len(e.pq) > 0 {
+		next := e.pq[0]
+		if next.cancel {
+			heap.Pop(&e.pq)
+			continue
+		}
+		if next.at > deadline {
+			break
+		}
+		heap.Pop(&e.pq)
+		e.now = next.at
+		e.executed++
+		next.fn()
+	}
+	if deadline != MaxTime && deadline > e.now {
+		e.now = deadline
+	}
+}
+
+// Advance moves the clock forward by d without dispatching events. It is
+// intended for driving the engine from tests and from analytic fast-paths
+// that account for long busy periods without per-cycle events.
+func (e *Engine) Advance(d Time) {
+	if d < 0 {
+		panic("sim: negative advance")
+	}
+	target := e.now + d
+	if len(e.pq) > 0 && e.pq[0].at < target {
+		panic(fmt.Sprintf("sim: Advance(%v) would skip event scheduled at %v", d, e.pq[0].at))
+	}
+	e.now = target
+}

@@ -1,0 +1,146 @@
+package sim
+
+// TokenQueue is a bounded FIFO with asynchronous, callback-based put/get —
+// the building block for the ReACH stream buffers (paper §III-B), which are
+// depth-bounded queues between compute levels. Producers that find the
+// queue full are parked until a consumer frees a slot, and vice versa; this
+// is what throttles a fast pipeline stage to the rate of the slowest one.
+type TokenQueue struct {
+	eng      *Engine
+	name     string
+	capacity int
+
+	items   []any
+	getters []func(any)
+	putters []pendingPut
+
+	// accounting
+	puts, gets   uint64
+	putWaits     uint64
+	getWaits     uint64
+	maxOccupancy int
+}
+
+type pendingPut struct {
+	item any
+	done func()
+}
+
+// NewTokenQueue creates a queue holding at most capacity items.
+// capacity must be at least 1.
+func NewTokenQueue(eng *Engine, name string, capacity int) *TokenQueue {
+	if capacity < 1 {
+		panic("sim: TokenQueue capacity must be >= 1")
+	}
+	return &TokenQueue{eng: eng, name: name, capacity: capacity}
+}
+
+// Name reports the queue's diagnostic name.
+func (q *TokenQueue) Name() string { return q.name }
+
+// Capacity reports the configured depth.
+func (q *TokenQueue) Capacity() int { return q.capacity }
+
+// Len reports the number of items currently buffered.
+func (q *TokenQueue) Len() int { return len(q.items) }
+
+// Put offers item to the queue. done (optional) runs at the simulated time
+// the item is accepted: immediately if there is space or a waiting getter,
+// otherwise when a consumer frees a slot.
+func (q *TokenQueue) Put(item any, done func()) {
+	q.puts++
+	// Fast path: hand directly to a parked getter.
+	if len(q.getters) > 0 {
+		g := q.getters[0]
+		q.getters = q.getters[1:]
+		if done != nil {
+			done()
+		}
+		g(item)
+		return
+	}
+	if len(q.items) < q.capacity {
+		q.items = append(q.items, item)
+		if len(q.items) > q.maxOccupancy {
+			q.maxOccupancy = len(q.items)
+		}
+		if done != nil {
+			done()
+		}
+		return
+	}
+	q.putWaits++
+	q.putters = append(q.putters, pendingPut{item: item, done: done})
+}
+
+// Get asks for the next item. onItem runs at the simulated time an item is
+// available: immediately if the queue is nonempty, otherwise when a
+// producer delivers one.
+func (q *TokenQueue) Get(onItem func(any)) {
+	if onItem == nil {
+		panic("sim: TokenQueue.Get with nil callback")
+	}
+	q.gets++
+	if len(q.items) > 0 {
+		item := q.items[0]
+		q.items = q.items[1:]
+		// Admit a parked producer into the freed slot.
+		if len(q.putters) > 0 {
+			p := q.putters[0]
+			q.putters = q.putters[1:]
+			q.items = append(q.items, p.item)
+			if p.done != nil {
+				p.done()
+			}
+		}
+		onItem(item)
+		return
+	}
+	if len(q.putters) > 0 {
+		// Queue is empty but a producer is parked (possible only when
+		// capacity fills and drains in the same instant); serve directly.
+		p := q.putters[0]
+		q.putters = q.putters[1:]
+		if p.done != nil {
+			p.done()
+		}
+		onItem(p.item)
+		return
+	}
+	q.getWaits++
+	q.getters = append(q.getters, onItem)
+}
+
+// TryGet pops an item if one is buffered, without parking.
+func (q *TokenQueue) TryGet() (any, bool) {
+	if len(q.items) == 0 {
+		return nil, false
+	}
+	item := q.items[0]
+	q.items = q.items[1:]
+	q.gets++
+	if len(q.putters) > 0 {
+		p := q.putters[0]
+		q.putters = q.putters[1:]
+		q.items = append(q.items, p.item)
+		if p.done != nil {
+			p.done()
+		}
+	}
+	return item, true
+}
+
+// Puts reports how many items were offered.
+func (q *TokenQueue) Puts() uint64 { return q.puts }
+
+// Gets reports how many items were requested.
+func (q *TokenQueue) Gets() uint64 { return q.gets }
+
+// PutWaits reports how many producers had to park (back-pressure events).
+func (q *TokenQueue) PutWaits() uint64 { return q.putWaits }
+
+// GetWaits reports how many consumers had to park (starvation events).
+func (q *TokenQueue) GetWaits() uint64 { return q.getWaits }
+
+// MaxOccupancy reports the high-water mark of buffered items.
+func (q *TokenQueue) MaxOccupancy() int { return q.maxOccupancy }

@@ -1,0 +1,101 @@
+package storage
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestQueuePairValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	bad := DefaultQueuePairConfig()
+	bad.Depth = 0
+	if _, err := NewQueuePair(eng, bad); err == nil {
+		t.Error("depth 0 accepted")
+	}
+	bad = DefaultQueuePairConfig()
+	bad.LinkBytesPerSec = 0
+	if _, err := NewQueuePair(eng, bad); err == nil {
+		t.Error("zero bandwidth accepted")
+	}
+}
+
+// The micro-model must reproduce the package's bulk constants: with deep
+// queues and large sequential commands, the effective host bandwidth lands
+// near the 12 GB/s (0.75 × raw) used throughout; small scattered commands
+// land substantially lower — the basis of the gather derating.
+func TestQueuePairJustifiesBulkEfficiencies(t *testing.T) {
+	run := func(depth int, cmdBytes int64, commands int) float64 {
+		eng := sim.NewEngine()
+		cfg := DefaultQueuePairConfig()
+		cfg.Depth = depth
+		qp, err := NewQueuePair(eng, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qp.RunReads(commands, cmdBytes)
+		return qp.EffectiveBandwidth()
+	}
+
+	// Large sequential reads (1 MiB) at QD32.
+	seq := run(32, 1<<20, 400)
+	if seq < 10e9 || seq > 16e9 {
+		t.Errorf("sequential QD32 bandwidth = %.1f GB/s, want ~12 (0.75 of raw)", seq/1e9)
+	}
+	// 64 KiB gather stripes at QD32: meaningfully lower than sequential.
+	gather := run(32, 64<<10, 4000)
+	if gather >= seq {
+		t.Errorf("gather bandwidth (%.1f GB/s) not below sequential (%.1f GB/s)", gather/1e9, seq/1e9)
+	}
+	ratio := gather / seq
+	if ratio < 0.4 || ratio > 0.95 {
+		t.Errorf("gather/sequential = %.2f, want in [0.4, 0.95] (config uses 0.75)", ratio)
+	}
+	// 4 KiB random reads: far below link speed — per-command overheads
+	// dominate.
+	small := run(32, 4<<10, 8000)
+	if small > 0.5*seq {
+		t.Errorf("4K read bandwidth = %.1f GB/s, should collapse vs %.1f", small/1e9, seq/1e9)
+	}
+}
+
+func TestQueueDepthScaling(t *testing.T) {
+	run := func(depth int) float64 {
+		eng := sim.NewEngine()
+		cfg := DefaultQueuePairConfig()
+		cfg.Depth = depth
+		qp, _ := NewQueuePair(eng, cfg)
+		qp.RunReads(500, 128<<10)
+		return qp.EffectiveBandwidth()
+	}
+	qd1, qd8, qd32 := run(1), run(8), run(32)
+	if qd8 <= qd1 {
+		t.Errorf("QD8 (%.1f GB/s) not above QD1 (%.1f GB/s)", qd8/1e9, qd1/1e9)
+	}
+	if qd32 < qd8 {
+		t.Errorf("QD32 (%.1f GB/s) below QD8 (%.1f GB/s)", qd32/1e9, qd8/1e9)
+	}
+	// QD1 serialises command latency with transfers: must be a small
+	// fraction of the link.
+	if qd1 > 8e9 {
+		t.Errorf("QD1 bandwidth = %.1f GB/s, should be latency-bound", qd1/1e9)
+	}
+}
+
+func TestQueuePairAccounting(t *testing.T) {
+	eng := sim.NewEngine()
+	qp, _ := NewQueuePair(eng, DefaultQueuePairConfig())
+	if qp.EffectiveBandwidth() != 0 {
+		t.Error("bandwidth before any command not 0")
+	}
+	done := qp.RunReads(10, 4096)
+	if done <= 0 {
+		t.Error("no time elapsed")
+	}
+	if qp.Completed() != 10 {
+		t.Errorf("completed = %d, want 10", qp.Completed())
+	}
+	if d := qp.RunReads(0, 4096); d != eng.Now() {
+		t.Error("zero commands took time")
+	}
+}

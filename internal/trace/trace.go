@@ -1,0 +1,152 @@
+// Package trace exports simulated ReACH executions as Chrome trace-event
+// JSON (the chrome://tracing / Perfetto format), one lane per accelerator
+// instance plus a GAM control lane. Loading the file into a trace viewer
+// shows the pipeline visually: stage overlap across batches, the polling
+// gaps between device completion and GAM detection, and the inter-level
+// transfer windows.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Event is one Chrome trace event (the subset of fields we emit).
+type Event struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat"`
+	Phase string         `json:"ph"` // "X" = complete event
+	TS    float64        `json:"ts"` // microseconds
+	Dur   float64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// metadata event for lane naming.
+type metaEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Args  map[string]any `json:"args"`
+}
+
+// Timeline accumulates events from completed jobs.
+type Timeline struct {
+	events []Event
+	lanes  map[string]int // instance name → tid
+	order  []string
+}
+
+// NewTimeline returns an empty timeline.
+func NewTimeline() *Timeline {
+	return &Timeline{lanes: make(map[string]int)}
+}
+
+func (t *Timeline) lane(name string) int {
+	if id, ok := t.lanes[name]; ok {
+		return id
+	}
+	id := len(t.lanes) + 1
+	t.lanes[name] = id
+	t.order = append(t.order, name)
+	return id
+}
+
+func us(ts sim.Time) float64 { return ts.Seconds() * 1e6 }
+
+// AddJob records every node of a completed job: one "X" slice per task on
+// its instance lane (dispatch → device completion) and a second short
+// slice for the GAM detection gap when polling delayed it.
+func (t *Timeline) AddJob(j *core.Job) error {
+	if !j.Done() {
+		return fmt.Errorf("trace: job %d not complete", j.ID)
+	}
+	for _, n := range j.Nodes {
+		lane := t.lane(n.Instance)
+		t.events = append(t.events, Event{
+			Name:  fmt.Sprintf("%s (job %d)", n.Spec.Name, j.ID),
+			Cat:   n.Spec.Stage,
+			Phase: "X",
+			TS:    us(n.DispatchedAt),
+			Dur:   us(n.CompletedAt - n.DispatchedAt),
+			PID:   1,
+			TID:   lane,
+			Args: map[string]any{
+				"stage":  n.Spec.Stage,
+				"level":  n.Level.String(),
+				"bytes":  n.Spec.Bytes,
+				"macs":   n.Spec.MACs,
+				"polls":  n.Polls,
+				"source": n.Spec.Source.String(),
+			},
+		})
+		if gap := n.DetectedAt - n.CompletedAt; gap > 0 {
+			t.events = append(t.events, Event{
+				Name:  "await GAM status",
+				Cat:   "gam",
+				Phase: "X",
+				TS:    us(n.CompletedAt),
+				Dur:   us(gap),
+				PID:   1,
+				TID:   lane,
+				Args:  map[string]any{"polls": n.Polls},
+			})
+		}
+	}
+	// Job span on the GAM lane.
+	t.events = append(t.events, Event{
+		Name:  fmt.Sprintf("job %d", j.ID),
+		Cat:   "job",
+		Phase: "X",
+		TS:    us(j.SubmittedAt),
+		Dur:   us(j.FinishedAt - j.SubmittedAt),
+		PID:   1,
+		TID:   t.lane("GAM"),
+	})
+	return nil
+}
+
+// Events reports how many events were recorded.
+func (t *Timeline) Events() int { return len(t.events) }
+
+// Lanes lists the lanes in first-seen order.
+func (t *Timeline) Lanes() []string {
+	out := make([]string, len(t.order))
+	copy(out, t.order)
+	return out
+}
+
+// WriteJSON emits the trace in Chrome trace-event array format.
+func (t *Timeline) WriteJSON(w io.Writer) error {
+	var all []any
+	// Lane-name metadata first, in deterministic order.
+	names := make([]string, 0, len(t.lanes))
+	for n := range t.lanes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		all = append(all, metaEvent{
+			Name:  "thread_name",
+			Phase: "M",
+			PID:   1,
+			TID:   t.lanes[n],
+			Args:  map[string]any{"name": n},
+		})
+	}
+	evs := make([]Event, len(t.events))
+	copy(evs, t.events)
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].TS < evs[j].TS })
+	for _, e := range evs {
+		all = append(all, e)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(all)
+}

@@ -1,0 +1,88 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/workload"
+)
+
+func TestTimelineFromPipelineRun(t *testing.T) {
+	run, err := experiments.RunPipeline(workload.DefaultModel(), experiments.ReACHMapping(), 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl := NewTimeline()
+	for _, j := range run.Jobs {
+		if err := tl.AddJob(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tl.Events() == 0 {
+		t.Fatal("no events recorded")
+	}
+	// Lanes: GAM + on-chip + 4 NM + 4 NS.
+	lanes := tl.Lanes()
+	if len(lanes) != 10 {
+		t.Errorf("lanes = %v (%d), want 10", lanes, len(lanes))
+	}
+
+	var buf bytes.Buffer
+	if err := tl.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// The output must be a valid JSON array of events.
+	var parsed []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("invalid trace JSON: %v", err)
+	}
+	var slices, metas int
+	var sawPollGap bool
+	for _, e := range parsed {
+		switch e["ph"] {
+		case "X":
+			slices++
+			if e["name"] == "await GAM status" {
+				sawPollGap = true
+			}
+		case "M":
+			metas++
+		}
+		if ts, ok := e["ts"].(float64); ok && ts < 0 {
+			t.Errorf("negative timestamp %v", ts)
+		}
+	}
+	if metas != 10 {
+		t.Errorf("metadata events = %d, want 10 lane names", metas)
+	}
+	// 2 jobs × (1 FE + 4 SL + 4 RR) tasks + 2 job spans ≥ 20 slices.
+	if slices < 20 {
+		t.Errorf("slices = %d, want >= 20", slices)
+	}
+	if !sawPollGap {
+		t.Error("no GAM detection-gap slices; polling should delay near-level tasks")
+	}
+	if !strings.Contains(buf.String(), "ShortlistRetrieval") {
+		t.Error("stage categories missing from trace")
+	}
+}
+
+func TestAddJobRejectsIncomplete(t *testing.T) {
+	run, err := experiments.RunPipeline(workload.DefaultModel(), experiments.ReACHMapping(), 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl := NewTimeline()
+	// A fresh, never-run job must be rejected.
+	sys := run.Sys
+	j, err := experiments.BuildPipelineJob(sys, 99, workload.DefaultModel(), experiments.ReACHMapping())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tl.AddJob(j); err == nil {
+		t.Error("incomplete job accepted")
+	}
+}

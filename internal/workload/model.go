@@ -1,0 +1,182 @@
+// Package workload defines the CBIR case-study workload at two coupled
+// scales:
+//
+//   - the modelled (full) scale of the paper — a billion-vector database,
+//     224×224 query images, VGG16 feature extraction — which drives the
+//     timing and energy layers (Table I byte and op counts);
+//   - the functional scale — a deterministic synthetic dataset small
+//     enough to run real k-means, GeMM and KNN in tests — which drives the
+//     simulator's functional layer and the recall evaluation.
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/cnn"
+)
+
+// Model captures the full-scale workload parameters (paper §IV, §V "CBIR
+// setup").
+type Model struct {
+	// BatchSize is the query batch (paper: 16).
+	BatchSize int
+	// Dim is the feature dimensionality after PCA (paper: 96).
+	Dim int
+	// Centroids is the number of k-means clusters (paper: 1000).
+	Centroids int
+	// DatasetSize is the database cardinality (paper: 10⁹).
+	DatasetSize int64
+	// RerankCandidates is the candidate-list size per query (paper: 4096).
+	RerankCandidates int
+	// TopK is the number of results returned per query.
+	TopK int
+	// Probes is the number of shortlisted clusters traversed per query.
+	Probes int
+	// ScanFraction is the fraction of each probed cluster's feature data
+	// the rerank accelerator streams to collect and score its candidates.
+	// Candidates are scattered through the cluster's pages, so the gather
+	// reads far more than RerankCandidates × VectorBytes; 5 % of each
+	// probed cluster reproduces the storage-traffic dominance of the
+	// paper's Fig. 8 (see DESIGN.md §4).
+	ScanFraction float64
+	// ImageH/ImageW/ImageC is the query image geometry (224×224×3).
+	ImageH, ImageW, ImageC int
+	// CellInfoBytesPerPoint is the per-point inverted-index metadata
+	// (compressed IDs + residual info); together with the centroid matrix
+	// it forms Table I's "~2.2 GB centroids and cell info".
+	CellInfoBytesPerPoint float64
+	// CNN is the feature-extraction network at modelled scale.
+	CNN *cnn.Spec
+}
+
+// DefaultModel returns the paper's configuration.
+func DefaultModel() Model {
+	return Model{
+		BatchSize:             16,
+		Dim:                   96,
+		Centroids:             1000,
+		DatasetSize:           1_000_000_000,
+		RerankCandidates:      4096,
+		TopK:                  10,
+		Probes:                8,
+		ScanFraction:          0.05,
+		ImageH:                224,
+		ImageW:                224,
+		ImageC:                3,
+		CellInfoBytesPerPoint: 2.2,
+		CNN:                   cnn.VGG16(),
+	}
+}
+
+// Validate checks internal consistency.
+func (m Model) Validate() error {
+	switch {
+	case m.BatchSize <= 0:
+		return fmt.Errorf("workload: batch size must be positive")
+	case m.Dim <= 0:
+		return fmt.Errorf("workload: dim must be positive")
+	case m.Centroids <= 0:
+		return fmt.Errorf("workload: centroid count must be positive")
+	case m.DatasetSize <= 0:
+		return fmt.Errorf("workload: dataset size must be positive")
+	case m.Probes <= 0 || m.Probes > m.Centroids:
+		return fmt.Errorf("workload: probes must be in [1, centroids]")
+	case m.ScanFraction <= 0 || m.ScanFraction > 1:
+		return fmt.Errorf("workload: scan fraction must be in (0,1]")
+	case m.RerankCandidates <= 0 || m.TopK <= 0 || m.TopK > m.RerankCandidates:
+		return fmt.Errorf("workload: need 1 <= topK <= rerank candidates")
+	case m.CNN == nil:
+		return fmt.Errorf("workload: missing CNN spec")
+	}
+	return nil
+}
+
+// VectorBytes is the storage of one feature vector (float32).
+func (m Model) VectorBytes() int64 { return int64(m.Dim) * 4 }
+
+// ImageBytes is the size of one query image.
+func (m Model) ImageBytes() int64 {
+	return int64(m.ImageH) * int64(m.ImageW) * int64(m.ImageC)
+}
+
+// BatchImageBytes is the host→chip input traffic of one batch.
+func (m Model) BatchImageBytes() int64 { return m.ImageBytes() * int64(m.BatchSize) }
+
+// BatchFeatureBytes is the feature-vector traffic of one batch (the only
+// inter-level payload after feature extraction — the paper's "only data
+// movement required is the user query vector and retrieved short-list").
+func (m Model) BatchFeatureBytes() int64 { return m.VectorBytes() * int64(m.BatchSize) }
+
+// FeatureStoreBytes is the database feature store (Table I: ~355 GB for
+// 1 B vectors).
+func (m Model) FeatureStoreBytes() int64 { return m.DatasetSize * m.VectorBytes() }
+
+// ClusterBytes is one cluster's share of the feature store.
+func (m Model) ClusterBytes() int64 {
+	return m.FeatureStoreBytes() / int64(m.Centroids)
+}
+
+// CentroidStoreBytes is the shortlist working set: the columnar centroid
+// matrix, the precomputed ‖C_m‖² vector, and the per-point cell metadata
+// (Table I: ~2.2 GB).
+func (m Model) CentroidStoreBytes() int64 {
+	centroidMatrix := int64(m.Centroids) * m.VectorBytes()
+	norms := int64(m.Centroids) * 4
+	cellInfo := int64(float64(m.DatasetSize) * m.CellInfoBytesPerPoint)
+	return centroidMatrix + norms + cellInfo
+}
+
+// ShortlistScanBytesPerBatch is the data streamed by the shortlist stage
+// per batch: the centroid matrix for the GeMM plus the cell metadata scan
+// that assembles candidate lists.
+func (m Model) ShortlistScanBytesPerBatch() int64 { return m.CentroidStoreBytes() }
+
+// RerankScanBytesPerQuery is the storage traffic of one query's rerank:
+// Probes clusters × ScanFraction of each.
+func (m Model) RerankScanBytesPerQuery() int64 {
+	return int64(float64(m.Probes) * m.ScanFraction * float64(m.ClusterBytes()))
+}
+
+// RerankScanBytesPerBatch is the batch aggregate.
+func (m Model) RerankScanBytesPerBatch() int64 {
+	return m.RerankScanBytesPerQuery() * int64(m.BatchSize)
+}
+
+// FeatureMACsPerImage is the CNN cost of one image.
+func (m Model) FeatureMACsPerImage() float64 { return m.CNN.TotalMACs() }
+
+// FeatureMACsPerBatch is the CNN cost of one batch.
+func (m Model) FeatureMACsPerBatch() float64 {
+	return m.FeatureMACsPerImage() * float64(m.BatchSize)
+}
+
+// ShortlistMACsPerBatch is the B×D×M GeMM plus the norm additions (Eq. 1).
+func (m Model) ShortlistMACsPerBatch() float64 {
+	gemm := float64(m.BatchSize) * float64(m.Dim) * float64(m.Centroids)
+	adds := float64(m.BatchSize) * float64(m.Centroids)
+	return gemm + adds
+}
+
+// RerankMACsPerQuery is the distance evaluation over the scanned points
+// (Eq. 2): every streamed vector is scored.
+func (m Model) RerankMACsPerQuery() float64 {
+	scanned := float64(m.RerankScanBytesPerQuery()) / float64(m.VectorBytes())
+	return scanned * float64(m.Dim)
+}
+
+// RerankMACsPerBatch is the batch aggregate.
+func (m Model) RerankMACsPerBatch() float64 {
+	return m.RerankMACsPerQuery() * float64(m.BatchSize)
+}
+
+// ShortlistResultBytesPerBatch is the shortlist→rerank payload: per query,
+// Probes cluster IDs and their candidate descriptors.
+func (m Model) ShortlistResultBytesPerBatch() int64 {
+	perQuery := int64(m.Probes)*8 + m.VectorBytes()
+	return perQuery * int64(m.BatchSize)
+}
+
+// ResultBytesPerBatch is the rerank→host payload (top-K ids + distances).
+func (m Model) ResultBytesPerBatch() int64 {
+	return int64(m.TopK) * 8 * int64(m.BatchSize)
+}

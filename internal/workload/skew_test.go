@@ -1,0 +1,79 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestZipfWeights(t *testing.T) {
+	w := ZipfWeights(100, 1.0)
+	var sum float64
+	for i, v := range w {
+		sum += v
+		if i > 0 && v > w[i-1] {
+			t.Fatalf("weights not nonincreasing at %d", i)
+		}
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("weights sum to %v", sum)
+	}
+	// s=0 is uniform.
+	u := ZipfWeights(10, 0)
+	for _, v := range u {
+		if math.Abs(v-0.1) > 1e-12 {
+			t.Errorf("uniform weight = %v", v)
+		}
+	}
+}
+
+func TestShardLoadPolicies(t *testing.T) {
+	w := ZipfWeights(1000, 1.2)
+	cont := ShardLoad(w, 4, PlaceContiguous)
+	rr := ShardLoad(w, 4, PlaceRoundRobin)
+	if ImbalanceFactor(rr) >= ImbalanceFactor(cont) {
+		t.Errorf("round-robin imbalance (%.2f) not below contiguous (%.2f)",
+			ImbalanceFactor(rr), ImbalanceFactor(cont))
+	}
+	// Uniform popularity: both placements balanced.
+	u := ZipfWeights(1000, 0)
+	if f := ImbalanceFactor(ShardLoad(u, 4, PlaceContiguous)); f > 1.01 {
+		t.Errorf("uniform contiguous imbalance = %v", f)
+	}
+}
+
+// Property: shard loads always sum to ~1 and imbalance >= 1.
+func TestShardLoadConservation(t *testing.T) {
+	f := func(n8, shards8 uint8, s10 uint8) bool {
+		n := int(n8)%500 + 4
+		shards := int(shards8)%8 + 1
+		s := float64(s10%30) / 10
+		for _, p := range []Placement{PlaceContiguous, PlaceRoundRobin} {
+			load := ShardLoad(ZipfWeights(n, s), shards, p)
+			var sum float64
+			for _, l := range load {
+				if l < 0 {
+					return false
+				}
+				sum += l
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				return false
+			}
+			if ImbalanceFactor(load) < 0.999 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDescribeSkew(t *testing.T) {
+	s := DescribeSkew(1000, 4, 1.2, PlaceContiguous)
+	if s == "" {
+		t.Error("empty description")
+	}
+}

@@ -1,0 +1,52 @@
+package workload
+
+import "fmt"
+
+// TableIRow is one row of the paper's Table I: the memory and compute
+// requirements of a CBIR pipeline stage.
+type TableIRow struct {
+	Stage       string
+	MemoryBytes int64
+	MemoryNote  string
+	Compute     string
+	ComputeNote string
+}
+
+// TableI derives the paper's Table I from the model. The reverse-lookup
+// row reports the image-store estimate (200 TB–2 PB for a billion images);
+// like the paper, the experiments exclude that stage.
+func TableI(m Model) []TableIRow {
+	return []TableIRow{
+		{
+			Stage:       "Feature extraction",
+			MemoryBytes: m.CNN.ParamBytes(),
+			MemoryNote: fmt.Sprintf("%.0f MB, %.1f MB if compressed — neural network model parameters",
+				float64(m.CNN.ParamBytes())/1e6, float64(m.CNN.CompressedParamBytes())/1e6),
+			Compute:     "High",
+			ComputeNote: "Convolutional neural network",
+		},
+		{
+			Stage:       "Short-list retrieval",
+			MemoryBytes: m.CentroidStoreBytes(),
+			MemoryNote: fmt.Sprintf("~%.1f GB — cluster centroids and cell info",
+				float64(m.CentroidStoreBytes())/1e9),
+			Compute:     "Medium",
+			ComputeNote: "Non-square matrix multiplication",
+		},
+		{
+			Stage:       "Rerank",
+			MemoryBytes: m.FeatureStoreBytes(),
+			MemoryNote: fmt.Sprintf("~%.0f GB — %d feature vectors",
+				float64(m.FeatureStoreBytes())/1e9, m.DatasetSize),
+			Compute:     "Low",
+			ComputeNote: "K Nearest Neighbors",
+		},
+		{
+			Stage:       "Reverse lookup",
+			MemoryBytes: m.DatasetSize * 200_000, // ~200 KB/image lower bound
+			MemoryNote:  "200 TB - 2 PB — raw image database (excluded from experiments)",
+			Compute:     "Very low",
+			ComputeNote: "Database access",
+		},
+	}
+}
