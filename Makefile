@@ -1,0 +1,33 @@
+# Development workflow for the ReACH reproduction.
+#
+#   make check   — everything CI runs: formatting, build, vet, race tests
+#   make test    — fast tier-1 gate (what ROADMAP.md calls the verify step)
+#   make bench   — root + sim benchmarks with allocation stats
+
+GO ?= go
+
+.PHONY: check fmt-check build vet test race bench
+
+check: fmt-check build vet race
+
+# gofmt -l prints offending files; any output fails the target.
+fmt-check:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchmem -run '^$$' . ./internal/sim/

@@ -50,6 +50,11 @@ func main() {
 		if err := run.Sys.WriteSnapshot(os.Stdout); err != nil {
 			fatal(err)
 		}
+		fmt.Println()
+		t := report.ResourceTable(run.Sys.Engine().Stats())
+		if err := emit(t, os.Stdout, *csvOut); err != nil {
+			fatal(err)
+		}
 		return
 	}
 
@@ -225,6 +230,7 @@ func writeTrace(path string) error {
 			return err
 		}
 	}
+	tl.AddResources(run.Sys.Engine().Stats(), run.Sys.Engine().Now())
 	f, err := os.Create(path)
 	if err != nil {
 		return err

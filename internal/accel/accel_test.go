@@ -213,8 +213,8 @@ func TestNearMemRemoteDataCrossesAIMBus(t *testing.T) {
 	if ms < 55 || ms > 70 {
 		t.Errorf("remote-heavy task = %.1f ms, want ~59", ms)
 	}
-	if p.AIMBus.TotalBytes() != uint64(bytes)*3/4 {
-		t.Errorf("AIMbus carried %d bytes, want %d", p.AIMBus.TotalBytes(), bytes*3/4)
+	if got := p.AIMBus.ResourceStats().Bytes; got != uint64(bytes)*3/4 {
+		t.Errorf("AIMbus carried %d bytes, want %d", got, bytes*3/4)
 	}
 }
 

@@ -67,8 +67,9 @@ type Platform struct {
 	// NearDIMMs holds one dedicated port per near-memory DIMM (Table II:
 	// 18 GB/s each).
 	NearDIMMs []*mem.Port
-	// AIMBus is the shared inter-DIMM accelerator bus.
-	AIMBus *sim.Link
+	// AIMBus is the shared inter-DIMM accelerator bus, registered as
+	// "mem.aimbus".
+	AIMBus sim.Connection
 	// Storage is the SSD array behind the shared host PCIe link.
 	Storage *storage.Array
 	// DevBuffers holds the near-storage accelerators' private DRAM buffer
@@ -107,16 +108,16 @@ func NewPlatform(eng *sim.Engine, cfg config.SystemConfig, meter *energy.Meter) 
 	// channels × per-channel rate.
 	hostChannels := (cfg.Memory.HostDIMMs + 1) / 2
 	hostBW := float64(hostChannels) * cfg.Memory.ChannelGBps * config.GBps
-	p.HostMem = mem.NewPort(eng, "hostmem", hostBW, 60*sim.Nanosecond,
+	p.HostMem = mem.NewPort(eng, "mem.host", hostBW, 60*sim.Nanosecond,
 		cfg.Memory.StreamEfficieny, cfg.Memory.RandomEfficieny)
 
 	for i := 0; i < cfg.Memory.NearMemDIMMs; i++ {
 		p.NearDIMMs = append(p.NearDIMMs, mem.NewPort(eng,
-			fmt.Sprintf("aimdimm%d", i),
+			fmt.Sprintf("mem.aimdimm%d", i),
 			cfg.Memory.NearMemGBps*config.GBps, 45*sim.Nanosecond,
 			0.95, cfg.Memory.RandomEfficieny))
 	}
-	p.AIMBus = sim.NewLink(eng, "aimbus", cfg.Memory.AIMBusGBps*config.GBps, 80*sim.Nanosecond)
+	p.AIMBus = sim.NewLink(eng, "mem.aimbus", cfg.Memory.AIMBusGBps*config.GBps, 80*sim.Nanosecond)
 
 	ssdCfg := storage.SSDConfig{
 		InternalBytesPerSec: cfg.Storage.DeviceGBps * config.GBps,
@@ -136,7 +137,7 @@ func NewPlatform(eng *sim.Engine, cfg config.SystemConfig, meter *energy.Meter) 
 	for i := 0; i < cfg.Storage.SSDs; i++ {
 		// The private device DRAM buffer: a single DDR4 channel's worth.
 		p.DevBuffers = append(p.DevBuffers, mem.NewPort(eng,
-			fmt.Sprintf("nsbuf%d", i),
+			fmt.Sprintf("mem.nsbuf%d", i),
 			cfg.Memory.ChannelGBps*config.GBps, 60*sim.Nanosecond,
 			cfg.Memory.StreamEfficieny, cfg.Memory.RandomEfficieny))
 	}

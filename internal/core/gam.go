@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"repro/internal/accel"
 	"repro/internal/sim"
@@ -18,6 +19,12 @@ type GAM struct {
 	readyQ  map[accel.Level][]*TaskNode
 	claimed map[accel.Accelerator]*TaskNode
 	jobs    []*Job
+
+	// streamBufs holds one registered stream buffer (the shared-layer
+	// TokenQueue) per src→dst level pair, created on first use. Every
+	// inter-level stream chunk passes through its pair's buffer, so stream
+	// traffic is accounted in the central registry ("stream.<src>-<dst>").
+	streamBufs map[[2]accel.Level]*sim.TokenQueue
 
 	dispatchArmed bool
 
@@ -46,9 +53,10 @@ type ProgressEntry struct {
 
 func newGAM(s *System) *GAM {
 	return &GAM{
-		sys:     s,
-		readyQ:  make(map[accel.Level][]*TaskNode),
-		claimed: make(map[accel.Accelerator]*TaskNode),
+		sys:        s,
+		readyQ:     make(map[accel.Level][]*TaskNode),
+		claimed:    make(map[accel.Accelerator]*TaskNode),
+		streamBufs: make(map[[2]accel.Level]*sim.TokenQueue),
 	}
 }
 
@@ -268,26 +276,33 @@ func (g *GAM) finish(n *TaskNode, a accel.Accelerator) {
 	delete(g.claimed, a)
 
 	// Forward outputs to each dependent (stream enqueue, duplicated per
-	// destination for broadcast semantics).
+	// destination for broadcast semantics). Data-carrying forwards pass
+	// through the src→dst stream buffer: the put/get pair completes in the
+	// same instant (the DMA already paid the transfer time), so timing is
+	// unchanged while stream traffic is accounted at the shared layer.
 	for _, d := range n.dependents {
 		dep := d
-		var transferDone sim.Time
+		deliver := func() {
+			dep.deps--
+			if dep.deps == 0 {
+				g.markReady(dep)
+			}
+		}
 		if n.OutBytes > 0 {
 			dstIdx := dep.Pin
 			if dstIdx < 0 {
 				dstIdx = 0
 			}
 			g.stats.Transfers++
-			transferDone = g.sys.Transfer(n.Level, dep.Level, dstIdx, n.OutBytes, n.Spec.Stage)
+			transferDone := g.sys.Transfer(n.Level, dep.Level, dstIdx, n.OutBytes, n.Spec.Stage)
+			buf := g.streamBuf(n.Level, dep.Level)
+			g.sys.eng.At(transferDone, func() {
+				buf.Put(n, nil)
+				buf.Get(func(any) { deliver() })
+			})
 		} else {
-			transferDone = g.sys.eng.Now()
+			g.sys.eng.At(g.sys.eng.Now(), deliver)
 		}
-		g.sys.eng.At(transferDone, func() {
-			dep.deps--
-			if dep.deps == 0 {
-				g.markReady(dep)
-			}
-		})
 	}
 
 	if len(n.dependents) == 0 && n.SinkToHost && n.OutBytes > 0 {
@@ -295,12 +310,36 @@ func (g *GAM) finish(n *TaskNode, a accel.Accelerator) {
 		// isn't complete until the result lands in host memory.
 		g.stats.Transfers++
 		collected := g.sys.Transfer(n.Level, accel.CPU, 0, n.OutBytes, n.Spec.Stage)
-		g.sys.eng.At(collected, func() { g.closeNode(n) })
+		buf := g.streamBuf(n.Level, accel.CPU)
+		g.sys.eng.At(collected, func() {
+			buf.Put(n, nil)
+			buf.Get(func(any) { g.closeNode(n) })
+		})
 		g.armDispatch()
 		return
 	}
 	g.closeNode(n)
 	g.armDispatch()
+}
+
+// streamBuf returns (creating on first use) the registered stream buffer
+// for a src→dst level pair. Depth follows the configured default stream
+// depth; the buffer is a shared-layer TokenQueue, so puts, gets, occupancy
+// and park waits surface through the central stats registry.
+func (g *GAM) streamBuf(src, dst accel.Level) *sim.TokenQueue {
+	key := [2]accel.Level{src, dst}
+	if q, ok := g.streamBufs[key]; ok {
+		return q
+	}
+	depth := g.sys.cfg.GAM.StreamDepth
+	if depth < 1 {
+		depth = 1
+	}
+	name := fmt.Sprintf("stream.%s-%s",
+		strings.ToLower(src.String()), strings.ToLower(dst.String()))
+	q := sim.NewTokenQueue(g.sys.eng, name, depth)
+	g.streamBufs[key] = q
+	return q
 }
 
 // closeNode retires a finished node and completes the job when it was the

@@ -39,18 +39,47 @@ func (s *System) Snapshot() []StatEntry {
 	add("gam.transfers", "%d", g.Transfers)
 	add("gam.interrupts", "%d", g.Interrupts)
 
-	// Host memory.
-	add("mem.host.bytes", "%d", p.HostMem.TotalBytes())
-	add("mem.host.busy", "%v", p.HostMem.BusyTime())
-	add("mem.host.queued_delay", "%v", p.HostMem.QueuedDelay())
-	for i, d := range p.NearDIMMs {
-		if d.TotalBytes() == 0 {
-			continue
+	// Shared resources: every connection, stream buffer, request queue and
+	// outstanding-ops window registered on the engine, walked in sorted
+	// name order. The central registry is the single source of truth for
+	// contention statistics — component packages no longer export bespoke
+	// counters into the snapshot.
+	s.eng.Stats().Walk(func(name string, res sim.Resource) {
+		st := res.ResourceStats()
+		switch st.Kind {
+		case sim.KindConnection:
+			add(name+".bytes", "%d", st.Bytes)
+			if st.Ops > 0 {
+				add(name+".busy", "%v", st.Busy)
+				add(name+".queued_delay", "%v", st.Wait)
+				add(name+".util", "%.3f", st.Utilization)
+			}
+		case sim.KindPort:
+			if st.Ops == 0 {
+				return
+			}
+			add(name+".items", "%d", st.Ops)
+			add(name+".wait", "%v", st.Wait)
+			add(name+".stalls", "%d", st.Stalls)
+			add(name+".max_occ", "%d", st.MaxOccupancy)
+		case sim.KindQueue:
+			if st.Ops == 0 && st.Stalls == 0 {
+				return
+			}
+			add(name+".served", "%d", st.Ops)
+			add(name+".wait", "%v", st.Wait)
+			add(name+".stalls", "%d", st.Stalls)
+			add(name+".max_occ", "%d", st.MaxOccupancy)
+		case sim.KindWindow:
+			if st.Ops == 0 {
+				return
+			}
+			add(name+".admitted", "%d", st.Ops)
+			add(name+".wait", "%v", st.Wait)
+			add(name+".stalls", "%d", st.Stalls)
+			add(name+".max_occ", "%d", st.MaxOccupancy)
 		}
-		add(fmt.Sprintf("mem.aimdimm%d.bytes", i), "%d", d.TotalBytes())
-		add(fmt.Sprintf("mem.aimdimm%d.busy", i), "%v", d.BusyTime())
-	}
-	add("mem.aimbus.bytes", "%d", p.AIMBus.TotalBytes())
+	})
 
 	// LLC.
 	cs := p.LLC.Stats()
@@ -59,10 +88,9 @@ func (s *System) Snapshot() []StatEntry {
 	add("llc.hit_rate", "%.3f", p.LLC.HitRate())
 	add("llc.writebacks", "%d", cs.WriteBacks)
 
-	// Storage.
-	add("ssd.host_link.bytes", "%d", p.Storage.HostLinkBytes())
-	add("ssd.host_link.util", "%.3f", p.Storage.HostLinkUtilization())
-	add("ssd.host_link.queued_delay", "%v", p.Storage.HostLinkQueuedDelay())
+	// Storage device counters (per-interface traffic split; the host PCIe
+	// link itself is covered by the registry walk above as
+	// "ssd.host_link").
 	for i := 0; i < p.Storage.Len(); i++ {
 		st := p.Storage.SSD(i).Stats()
 		if st.BytesRead == 0 {

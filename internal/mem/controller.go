@@ -18,15 +18,17 @@ type Request struct {
 // controller with bounded read and write queues, matching the paper's
 // Table II (64/64-entry read/write request queues). FR-FCFS prioritises
 // requests that hit an open row, falling back to the oldest request.
+//
+// The request queues are shared-layer sim.Queues registered in the central
+// stats registry as "<name>.rdq" / "<name>.wrq", so occupancy, queueing
+// delay and stall counts surface uniformly in reports.
 type Controller struct {
 	eng   *sim.Engine
 	name  string
 	dimms []*DIMM
 
-	readQ  []*Request
-	writeQ []*Request
-	readQDepth,
-	writeQDepth int
+	readQ  *sim.Queue
+	writeQ *sim.Queue
 
 	busy bool
 
@@ -34,10 +36,9 @@ type Controller struct {
 	// spreads consecutive lines across DIMMs (high aggregate bandwidth to
 	// the chip); tile interleaving keeps large contiguous tiles on one
 	// DIMM (what GAM programs for near-memory kernels, §III-B).
-	interleave  InterleavePolicy
-	tileBytes   int64
-	served      uint64
-	stallEvents uint64
+	interleave InterleavePolicy
+	tileBytes  int64
+	served     uint64
 }
 
 // InterleavePolicy selects how addresses map to DIMMs behind a controller.
@@ -70,13 +71,13 @@ func NewController(eng *sim.Engine, name string, dimms []*DIMM, readQ, writeQ in
 		panic("mem: queue depths must be positive")
 	}
 	return &Controller{
-		eng:         eng,
-		name:        name,
-		dimms:       dimms,
-		readQDepth:  readQ,
-		writeQDepth: writeQ,
-		interleave:  InterleaveCacheline,
-		tileBytes:   1 << 20,
+		eng:        eng,
+		name:       name,
+		dimms:      dimms,
+		readQ:      sim.NewQueue(eng, name+".rdq", readQ),
+		writeQ:     sim.NewQueue(eng, name+".wrq", writeQ),
+		interleave: InterleaveCacheline,
+		tileBytes:  1 << 20,
 	}
 }
 
@@ -112,18 +113,14 @@ func (c *Controller) Submit(r *Request) bool {
 	if r == nil {
 		panic("mem: nil request")
 	}
-	q := &c.readQ
-	depth := c.readQDepth
+	q := c.readQ
 	if r.Write {
-		q = &c.writeQ
-		depth = c.writeQDepth
-	}
-	if len(*q) >= depth {
-		c.stallEvents++
-		return false
+		q = c.writeQ
 	}
 	r.issued = c.eng.Now()
-	*q = append(*q, r)
+	if !q.Offer(r) {
+		return false
+	}
 	if !c.busy {
 		c.busy = true
 		c.eng.Schedule(0, c.arbitrate)
@@ -159,45 +156,46 @@ func (c *Controller) arbitrate() {
 
 // pick selects the next request: row-hit first (FR), then oldest (FCFS).
 func (c *Controller) pick() *Request {
-	drainWrites := len(c.writeQ) > c.writeQDepth/2 || len(c.readQ) == 0
-	primary, secondary := &c.readQ, &c.writeQ
-	if drainWrites && len(c.writeQ) > 0 {
-		primary, secondary = &c.writeQ, &c.readQ
+	drainWrites := c.writeQ.Len() > c.writeQ.Capacity()/2 || c.readQ.Len() == 0
+	primary, secondary := c.readQ, c.writeQ
+	if drainWrites && c.writeQ.Len() > 0 {
+		primary, secondary = c.writeQ, c.readQ
 	}
-	for _, q := range []*[]*Request{primary, secondary} {
-		if len(*q) == 0 {
+	for _, q := range []*sim.Queue{primary, secondary} {
+		if q.Len() == 0 {
 			continue
 		}
 		// First ready: earliest queued request whose row is open AND whose
 		// bank is available no later than the oldest request's bank — a
 		// row hit on a busy bank must not jump a ready oldest request.
-		oldestReady := c.dimmFor((*q)[0].Addr).bankReady((*q)[0].Addr)
-		for i, r := range *q {
+		oldest := q.At(0).(*Request)
+		oldestReady := c.dimmFor(oldest.Addr).bankReady(oldest.Addr)
+		for i := 0; i < q.Len(); i++ {
+			r := q.At(i).(*Request)
 			d := c.dimmFor(r.Addr)
 			bi, row := d.decode(r.Addr)
 			if d.banks[bi].openRow == row && d.banks[bi].readyAt <= oldestReady {
-				*q = append((*q)[:i], (*q)[i+1:]...)
-				return r
+				return q.RemoveAt(i).(*Request)
 			}
 		}
 		// Fall back to the oldest.
-		r := (*q)[0]
-		*q = (*q)[1:]
-		return r
+		return q.RemoveAt(0).(*Request)
 	}
 	return nil
 }
 
 // QueueOccupancy reports current read/write queue lengths.
 func (c *Controller) QueueOccupancy() (reads, writes int) {
-	return len(c.readQ), len(c.writeQ)
+	return c.readQ.Len(), c.writeQ.Len()
 }
 
 // Served reports completed requests.
 func (c *Controller) Served() uint64 { return c.served }
 
 // StallEvents reports how many submissions were rejected on full queues.
-func (c *Controller) StallEvents() uint64 { return c.stallEvents }
+func (c *Controller) StallEvents() uint64 {
+	return c.readQ.Stalls() + c.writeQ.Stalls()
+}
 
 // DIMMs exposes the controller's DIMMs (read-only use).
 func (c *Controller) DIMMs() []*DIMM { return c.dimms }

@@ -19,8 +19,9 @@ type Mesh struct {
 	cols, rows int
 	hopLatency sim.Time
 
-	// links[from][to] for neighbouring router indices.
-	links map[int]map[int]*sim.Link
+	// links[from][to] for neighbouring router indices; each directed link
+	// is a shared-layer sim.Connection registered as "<mesh>.<a>-<b>".
+	links map[int]map[int]sim.Connection
 
 	endpoints map[string]int // endpoint name → router index
 
@@ -41,12 +42,12 @@ func NewMesh(eng *sim.Engine, name string, cols, rows int, linkBytesPerSec float
 		cols:       cols,
 		rows:       rows,
 		hopLatency: hopLatency,
-		links:      make(map[int]map[int]*sim.Link),
+		links:      make(map[int]map[int]sim.Connection),
 		endpoints:  make(map[string]int),
 	}
 	addLink := func(a, b int) {
 		if m.links[a] == nil {
-			m.links[a] = make(map[int]*sim.Link)
+			m.links[a] = make(map[int]sim.Connection)
 		}
 		m.links[a][b] = sim.NewLink(eng, fmt.Sprintf("%s.%d-%d", name, a, b), linkBytesPerSec, 0)
 	}
@@ -171,5 +172,5 @@ func (m *Mesh) LinkUtilization(ax, ay, bx, by int) float64 {
 	if m.links[a] == nil || m.links[a][b] == nil {
 		return 0
 	}
-	return m.links[a][b].Utilization()
+	return m.links[a][b].ResourceStats().Utilization
 }

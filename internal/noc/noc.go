@@ -13,11 +13,13 @@ import (
 	"repro/internal/sim"
 )
 
-// Port identifies an endpoint attached to the crossbar.
+// Port identifies an endpoint attached to the crossbar. Its ingress and
+// egress directions are shared-layer sim.Connections registered in the
+// central stats registry as "<xbar>.<port>.in" / ".out".
 type Port struct {
 	name    string
-	egress  *sim.Link
-	ingress *sim.Link
+	egress  sim.Connection
+	ingress sim.Connection
 }
 
 // Name reports the port's name.
@@ -120,5 +122,5 @@ func (x *Crossbar) PortUtilization(name string) float64 {
 	if !ok {
 		return 0
 	}
-	return p.egress.Utilization()
+	return p.egress.ResourceStats().Utilization
 }

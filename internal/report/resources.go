@@ -1,0 +1,42 @@
+package report
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// ResourceTable renders the central stats registry as one table: every
+// shared resource (connection, stream buffer, request queue, window) that
+// saw traffic, in sorted-name order, with the uniform base-layer counters.
+// This is the single bottleneck-attribution view — no per-package stats
+// plumbing.
+func ResourceTable(reg *sim.StatsRegistry) *Table {
+	t := &Table{
+		Title:   "Shared resources",
+		Columns: []string{"resource", "kind", "ops", "bytes", "busy_ms", "wait_ms", "stalls", "max_occ", "util"},
+	}
+	var skipped int
+	reg.Walk(func(name string, res sim.Resource) {
+		st := res.ResourceStats()
+		if st.Ops == 0 && st.Stalls == 0 {
+			skipped++
+			return
+		}
+		t.AddRow(
+			name,
+			string(st.Kind),
+			fmt.Sprintf("%d", st.Ops),
+			fmt.Sprintf("%d", st.Bytes),
+			Ms(st.Busy.Seconds()),
+			Ms(st.Wait.Seconds()),
+			fmt.Sprintf("%d", st.Stalls),
+			fmt.Sprintf("%d", st.MaxOccupancy),
+			F(st.Utilization, 3),
+		)
+	})
+	if skipped > 0 {
+		t.AddNote("%d idle resources omitted", skipped)
+	}
+	return t
+}

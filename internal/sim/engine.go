@@ -12,6 +12,7 @@ type Event struct {
 	at     Time
 	seq    uint64 // tie-breaker: FIFO among same-time events
 	fn     func()
+	eng    *Engine
 	index  int // heap index, -1 once popped or cancelled
 	cancel bool
 }
@@ -19,9 +20,20 @@ type Event struct {
 // When reports the simulated time the event is scheduled for.
 func (ev *Event) When() Time { return ev.at }
 
-// Cancel prevents the event from firing. Cancelling an event that already
-// fired (or was already cancelled) is a no-op.
-func (ev *Event) Cancel() { ev.cancel = true }
+// Cancel prevents the event from firing and removes it from the calendar
+// immediately, so long-lived simulations that schedule-and-cancel (e.g.
+// timeout guards) do not accumulate dead events in the heap until their
+// nominal time is reached. Cancelling an event that already fired (or was
+// already cancelled) is a no-op.
+func (ev *Event) Cancel() {
+	if ev.cancel {
+		return
+	}
+	ev.cancel = true
+	if ev.index >= 0 && ev.eng != nil {
+		heap.Remove(&ev.eng.pq, ev.index)
+	}
+}
 
 type eventHeap []*Event
 
@@ -65,23 +77,34 @@ type Engine struct {
 	pq       eventHeap
 	executed uint64
 	running  bool
+	stats    *StatsRegistry
 }
 
 // NewEngine returns an engine with the clock at time zero and an empty
 // calendar.
 func NewEngine() *Engine {
-	return &Engine{}
+	return &Engine{stats: NewStatsRegistry()}
 }
 
 // Now reports the current simulated time.
 func (e *Engine) Now() Time { return e.now }
 
+// Stats returns the engine's central resource registry: every shared
+// resource (link, stream buffer, request queue, window) constructed on
+// this engine registers itself here under a hierarchical name.
+func (e *Engine) Stats() *StatsRegistry {
+	if e.stats == nil {
+		e.stats = NewStatsRegistry() // tolerate zero-value engines in tests
+	}
+	return e.stats
+}
+
 // Executed reports how many events have been dispatched so far; useful for
 // progress reporting and as a runaway-simulation guard in tests.
 func (e *Engine) Executed() uint64 { return e.executed }
 
-// Pending reports the number of events currently scheduled (including
-// cancelled events not yet reaped).
+// Pending reports the number of events currently scheduled. Cancelled
+// events are removed from the calendar eagerly and do not count.
 func (e *Engine) Pending() int { return len(e.pq) }
 
 // At schedules fn to run at absolute simulated time t. Scheduling in the
@@ -94,7 +117,7 @@ func (e *Engine) At(t Time, fn func()) *Event {
 	if fn == nil {
 		panic("sim: scheduling nil callback")
 	}
-	ev := &Event{at: t, seq: e.seq, fn: fn}
+	ev := &Event{at: t, seq: e.seq, fn: fn, eng: e}
 	e.seq++
 	heap.Push(&e.pq, ev)
 	return ev

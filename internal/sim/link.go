@@ -5,15 +5,20 @@ import (
 	"math"
 )
 
-// Link models a shared, serialised bandwidth resource: a DDR4 channel, the
-// AIMbus, a PCIe link, a NoC port, an SSD's internal flash interconnect.
+// Link is the canonical Connection: a shared, serialised bandwidth
+// resource — a DDR4 channel, the AIMbus, a PCIe link, a NoC port, an SSD's
+// internal flash interconnect.
 //
-// Transfers reserve capacity in FIFO order: a transfer issued while the link
-// is busy queues behind the in-flight ones. This captures the first-order
-// contention behaviour that the ReACH evaluation depends on (host IO
-// saturation in the rerank stage, DRAM channel sharing in shortlist
-// retrieval) without per-flit events, so multi-gigabyte streams simulate in
-// microseconds of wall time.
+// Transfers reserve capacity in FIFO order: a transfer issued while the
+// link is busy queues behind the in-flight ones. This captures the
+// first-order contention behaviour that the ReACH evaluation depends on
+// (host IO saturation in the rerank stage, DRAM channel sharing in
+// shortlist retrieval) without per-flit events, so multi-gigabyte streams
+// simulate in microseconds of wall time.
+//
+// Every link registers itself in its engine's StatsRegistry and is
+// instrumented at this base layer: payload bytes, busy time, accumulated
+// queueing delay, and bounded wait/service-time histograms.
 type Link struct {
 	eng  *Engine
 	name string
@@ -31,10 +36,13 @@ type Link struct {
 	firstActivity  Time
 	lastActivity   Time
 	everTransfered bool
+	waitHist       *Histogram
+	serviceHist    *Histogram
 }
 
 // NewLink creates a link on eng with the given payload bandwidth (bytes per
-// second) and fixed per-transfer latency. Name is used in diagnostics.
+// second) and fixed per-transfer latency, registered on eng's registry
+// under name.
 func NewLink(eng *Engine, name string, bytesPerSec float64, latency Time) *Link {
 	if eng == nil {
 		panic("sim: NewLink with nil engine")
@@ -45,10 +53,18 @@ func NewLink(eng *Engine, name string, bytesPerSec float64, latency Time) *Link 
 	if latency < 0 {
 		panic(fmt.Sprintf("sim: link %q negative latency", name))
 	}
-	return &Link{eng: eng, name: name, bytesPerSec: bytesPerSec, latency: latency}
+	l := &Link{
+		eng:         eng,
+		bytesPerSec: bytesPerSec,
+		latency:     latency,
+		waitHist:    NewBoundedHistogram(statHistogramCap),
+		serviceHist: NewBoundedHistogram(statHistogramCap),
+	}
+	l.name = eng.Stats().Register(name, l)
+	return l
 }
 
-// Name reports the link's diagnostic name.
+// Name reports the link's registered name.
 func (l *Link) Name() string { return l.name }
 
 // BytesPerSec reports the link's configured payload bandwidth.
@@ -73,6 +89,33 @@ func (l *Link) duration(n int64) Time {
 	return t
 }
 
+// reserve is the single serialisation point every transfer flavour routes
+// through: it queues the occupancy behind in-flight work (FIFO), accounts
+// waiting and service time, and returns the occupancy's end time (link
+// latency excluded).
+func (l *Link) reserve(start Time, occupancy Time, payload int64) Time {
+	begin := start
+	if l.nextFree > begin {
+		l.queuedDelay += l.nextFree - begin
+		begin = l.nextFree
+	}
+	end := begin + occupancy
+	l.nextFree = end
+	if payload > 0 {
+		l.totalBytes += uint64(payload)
+		l.busy += occupancy
+		l.transfers++
+		if !l.everTransfered {
+			l.firstActivity = begin
+			l.everTransfered = true
+		}
+		l.lastActivity = end
+		l.waitHist.Add(begin - start)
+		l.serviceHist.Add(occupancy)
+	}
+	return end
+}
+
 // Transfer reserves capacity for n bytes starting no earlier than now, and
 // returns the simulated time at which the last byte arrives at the far end
 // (including the link latency). The caller typically schedules its
@@ -90,29 +133,10 @@ func (l *Link) Transfer(n int64) Time {
 // producer knows data becomes available only at a future instant. start
 // must not precede the current simulated time.
 func (l *Link) TransferAt(start Time, n int64) Time {
-	now := l.eng.Now()
-	if start < now {
+	if now := l.eng.Now(); start < now {
 		panic(fmt.Sprintf("sim: link %q TransferAt %v before now %v", l.name, start, now))
 	}
-	begin := start
-	if l.nextFree > begin {
-		l.queuedDelay += l.nextFree - begin
-		begin = l.nextFree
-	}
-	d := l.duration(n)
-	end := begin + d
-	l.nextFree = end
-	if n > 0 {
-		l.totalBytes += uint64(n)
-		l.busy += d
-		l.transfers++
-		if !l.everTransfered {
-			l.firstActivity = begin
-			l.everTransfered = true
-		}
-		l.lastActivity = end
-	}
-	return end + l.latency
+	return l.reserve(start, l.duration(n), n) + l.latency
 }
 
 // TransferEff reserves capacity for n payload bytes moved at the given
@@ -124,26 +148,7 @@ func (l *Link) TransferEff(n int64, eff float64) Time {
 	if eff <= 0 || eff > 1 || math.IsNaN(eff) {
 		panic(fmt.Sprintf("sim: link %q invalid efficiency %v", l.name, eff))
 	}
-	now := l.eng.Now()
-	begin := now
-	if l.nextFree > begin {
-		l.queuedDelay += l.nextFree - begin
-		begin = l.nextFree
-	}
-	d := l.duration(int64(float64(n)/eff + 0.5))
-	end := begin + d
-	l.nextFree = end
-	if n > 0 {
-		l.totalBytes += uint64(n)
-		l.busy += d
-		l.transfers++
-		if !l.everTransfered {
-			l.firstActivity = begin
-			l.everTransfered = true
-		}
-		l.lastActivity = end
-	}
-	return end + l.latency
+	return l.reserve(l.eng.Now(), l.duration(int64(float64(n)/eff+0.5)), n) + l.latency
 }
 
 // Occupy reserves the link's capacity for an explicit duration carrying the
@@ -154,24 +159,7 @@ func (l *Link) Occupy(d Time, payload int64) Time {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: link %q negative occupancy", l.name))
 	}
-	begin := l.eng.Now()
-	if l.nextFree > begin {
-		l.queuedDelay += l.nextFree - begin
-		begin = l.nextFree
-	}
-	end := begin + d
-	l.nextFree = end
-	if payload > 0 {
-		l.totalBytes += uint64(payload)
-		l.busy += d
-		l.transfers++
-		if !l.everTransfered {
-			l.firstActivity = begin
-			l.everTransfered = true
-		}
-		l.lastActivity = end
-	}
-	return end + l.latency
+	return l.reserve(l.eng.Now(), d, payload) + l.latency
 }
 
 // NextFree reports when the link's capacity next becomes available.
@@ -200,6 +188,20 @@ func (l *Link) Utilization() float64 {
 	return float64(l.busy) / float64(l.lastActivity-l.firstActivity)
 }
 
+// ResourceStats implements Resource with the base-layer instrumentation.
+func (l *Link) ResourceStats() ResourceStats {
+	return ResourceStats{
+		Kind:        KindConnection,
+		Ops:         l.transfers,
+		Bytes:       l.totalBytes,
+		Busy:        l.busy,
+		Wait:        l.queuedDelay,
+		Utilization: l.Utilization(),
+		WaitHist:    l.waitHist,
+		ServiceHist: l.serviceHist,
+	}
+}
+
 // Reset clears accounting and availability, as if the link were newly
 // created at the current simulated time.
 func (l *Link) Reset() {
@@ -211,4 +213,6 @@ func (l *Link) Reset() {
 	l.everTransfered = false
 	l.firstActivity = 0
 	l.lastActivity = 0
+	l.waitHist = NewBoundedHistogram(statHistogramCap)
+	l.serviceHist = NewBoundedHistogram(statHistogramCap)
 }

@@ -1,17 +1,22 @@
 package sim
 
-// TokenQueue is a bounded FIFO with asynchronous, callback-based put/get —
-// the building block for the ReACH stream buffers (paper §III-B), which are
-// depth-bounded queues between compute levels. Producers that find the
-// queue full are parked until a consumer frees a slot, and vice versa; this
-// is what throttles a fast pipeline stage to the rate of the slowest one.
+// TokenQueue is the canonical Port: a bounded FIFO with asynchronous,
+// callback-based put/get — the building block for the ReACH stream buffers
+// (paper §III-B), which are depth-bounded queues between compute levels.
+// Producers that find the queue full are parked until a consumer frees a
+// slot, and vice versa; this is what throttles a fast pipeline stage to
+// the rate of the slowest one.
+//
+// Every queue registers itself in its engine's StatsRegistry and records
+// park waits (producer back-pressure and consumer starvation) in a bounded
+// histogram at this base layer.
 type TokenQueue struct {
 	eng      *Engine
 	name     string
 	capacity int
 
 	items   []any
-	getters []func(any)
+	getters []pendingGet
 	putters []pendingPut
 
 	// accounting
@@ -19,23 +24,40 @@ type TokenQueue struct {
 	putWaits     uint64
 	getWaits     uint64
 	maxOccupancy int
+	waitTime     Time
+	waitHist     *Histogram
 }
 
 type pendingPut struct {
-	item any
-	done func()
+	item   any
+	done   func()
+	parked Time
 }
 
-// NewTokenQueue creates a queue holding at most capacity items.
-// capacity must be at least 1.
+type pendingGet struct {
+	onItem func(any)
+	parked Time
+}
+
+// NewTokenQueue creates a queue holding at most capacity items, registered
+// on eng's registry under name. capacity must be at least 1.
 func NewTokenQueue(eng *Engine, name string, capacity int) *TokenQueue {
+	if eng == nil {
+		panic("sim: NewTokenQueue with nil engine")
+	}
 	if capacity < 1 {
 		panic("sim: TokenQueue capacity must be >= 1")
 	}
-	return &TokenQueue{eng: eng, name: name, capacity: capacity}
+	q := &TokenQueue{
+		eng:      eng,
+		capacity: capacity,
+		waitHist: NewBoundedHistogram(statHistogramCap),
+	}
+	q.name = eng.Stats().Register(name, q)
+	return q
 }
 
-// Name reports the queue's diagnostic name.
+// Name reports the queue's registered name.
 func (q *TokenQueue) Name() string { return q.name }
 
 // Capacity reports the configured depth.
@@ -43,6 +65,16 @@ func (q *TokenQueue) Capacity() int { return q.capacity }
 
 // Len reports the number of items currently buffered.
 func (q *TokenQueue) Len() int { return len(q.items) }
+
+// recordWait accounts a park that began at parked and ended now.
+func (q *TokenQueue) recordWait(parked Time) {
+	if w := q.eng.Now() - parked; w > 0 {
+		q.waitTime += w
+		q.waitHist.Add(w)
+	} else {
+		q.waitHist.Add(0)
+	}
+}
 
 // Put offers item to the queue. done (optional) runs at the simulated time
 // the item is accepted: immediately if there is space or a waiting getter,
@@ -53,10 +85,11 @@ func (q *TokenQueue) Put(item any, done func()) {
 	if len(q.getters) > 0 {
 		g := q.getters[0]
 		q.getters = q.getters[1:]
+		q.recordWait(g.parked)
 		if done != nil {
 			done()
 		}
-		g(item)
+		g.onItem(item)
 		return
 	}
 	if len(q.items) < q.capacity {
@@ -70,7 +103,7 @@ func (q *TokenQueue) Put(item any, done func()) {
 		return
 	}
 	q.putWaits++
-	q.putters = append(q.putters, pendingPut{item: item, done: done})
+	q.putters = append(q.putters, pendingPut{item: item, done: done, parked: q.eng.Now()})
 }
 
 // Get asks for the next item. onItem runs at the simulated time an item is
@@ -84,15 +117,7 @@ func (q *TokenQueue) Get(onItem func(any)) {
 	if len(q.items) > 0 {
 		item := q.items[0]
 		q.items = q.items[1:]
-		// Admit a parked producer into the freed slot.
-		if len(q.putters) > 0 {
-			p := q.putters[0]
-			q.putters = q.putters[1:]
-			q.items = append(q.items, p.item)
-			if p.done != nil {
-				p.done()
-			}
-		}
+		q.admitParkedPutter()
 		onItem(item)
 		return
 	}
@@ -101,6 +126,7 @@ func (q *TokenQueue) Get(onItem func(any)) {
 		// capacity fills and drains in the same instant); serve directly.
 		p := q.putters[0]
 		q.putters = q.putters[1:]
+		q.recordWait(p.parked)
 		if p.done != nil {
 			p.done()
 		}
@@ -108,7 +134,7 @@ func (q *TokenQueue) Get(onItem func(any)) {
 		return
 	}
 	q.getWaits++
-	q.getters = append(q.getters, onItem)
+	q.getters = append(q.getters, pendingGet{onItem: onItem, parked: q.eng.Now()})
 }
 
 // TryGet pops an item if one is buffered, without parking.
@@ -119,15 +145,25 @@ func (q *TokenQueue) TryGet() (any, bool) {
 	item := q.items[0]
 	q.items = q.items[1:]
 	q.gets++
-	if len(q.putters) > 0 {
-		p := q.putters[0]
-		q.putters = q.putters[1:]
-		q.items = append(q.items, p.item)
-		if p.done != nil {
-			p.done()
-		}
-	}
+	q.admitParkedPutter()
 	return item, true
+}
+
+// admitParkedPutter moves the oldest parked producer into the freed slot.
+func (q *TokenQueue) admitParkedPutter() {
+	if len(q.putters) == 0 {
+		return
+	}
+	p := q.putters[0]
+	q.putters = q.putters[1:]
+	q.items = append(q.items, p.item)
+	if len(q.items) > q.maxOccupancy {
+		q.maxOccupancy = len(q.items)
+	}
+	q.recordWait(p.parked)
+	if p.done != nil {
+		p.done()
+	}
 }
 
 // Puts reports how many items were offered.
@@ -144,3 +180,19 @@ func (q *TokenQueue) GetWaits() uint64 { return q.getWaits }
 
 // MaxOccupancy reports the high-water mark of buffered items.
 func (q *TokenQueue) MaxOccupancy() int { return q.maxOccupancy }
+
+// WaitTime reports accumulated producer+consumer park time.
+func (q *TokenQueue) WaitTime() Time { return q.waitTime }
+
+// ResourceStats implements Resource.
+func (q *TokenQueue) ResourceStats() ResourceStats {
+	return ResourceStats{
+		Kind:         KindPort,
+		Ops:          q.puts,
+		Wait:         q.waitTime,
+		Stalls:       q.putWaits + q.getWaits,
+		Occupancy:    len(q.items),
+		MaxOccupancy: q.maxOccupancy,
+		WaitHist:     q.waitHist,
+	}
+}

@@ -42,23 +42,30 @@ func DefaultQueuePairConfig() QueuePairConfig {
 	}
 }
 
-// QueuePair simulates command flow through one NVMe queue pair.
+// QueuePair simulates command flow through one NVMe queue pair. Its three
+// contended resources are shared-layer primitives registered in the central
+// stats registry: the PCIe data link ("nvme.<name>.link"), the host CPU
+// serialising submission/completion work ("nvme.<name>.cpu"), and the
+// submission-queue depth window ("nvme.<name>.sq").
 type QueuePair struct {
 	eng  *sim.Engine
 	cfg  QueuePairConfig
-	link *sim.Link
+	link sim.Connection
 
 	// host CPU is a serial resource for submission/completion work.
-	hostCPU *sim.Link
+	hostCPU sim.Connection
 
-	inFlight  int
+	// sq is the queue-depth window: admission of a new command when the
+	// queue is full waits for the oldest outstanding completion.
+	sq *sim.Window
+
 	completed uint64
 	bytes     uint64
 	lastDone  sim.Time
 }
 
-// NewQueuePair creates a queue pair on eng.
-func NewQueuePair(eng *sim.Engine, cfg QueuePairConfig) (*QueuePair, error) {
+// NewQueuePair creates a queue pair on eng, registered under name.
+func NewQueuePair(eng *sim.Engine, name string, cfg QueuePairConfig) (*QueuePair, error) {
 	if cfg.Depth <= 0 {
 		return nil, fmt.Errorf("storage: queue depth must be positive")
 	}
@@ -68,33 +75,26 @@ func NewQueuePair(eng *sim.Engine, cfg QueuePairConfig) (*QueuePair, error) {
 	return &QueuePair{
 		eng:  eng,
 		cfg:  cfg,
-		link: sim.NewLink(eng, "nvme.qp.link", cfg.LinkBytesPerSec, 500*sim.Nanosecond),
+		link: sim.NewLink(eng, "nvme."+name+".link", cfg.LinkBytesPerSec, 500*sim.Nanosecond),
 		// Host submission/completion work serialises on one core; model
 		// it as a unit-bandwidth link occupied for the overhead duration.
-		hostCPU: sim.NewLink(eng, "nvme.qp.cpu", 1, 0),
+		hostCPU: sim.NewLink(eng, "nvme."+name+".cpu", 1, 0),
+		sq:      sim.NewWindow(eng, "nvme."+name+".sq", cfg.Depth),
 	}, nil
 }
 
 // RunReads pushes `commands` fixed-size reads through the queue pair and
 // returns the completion time of the last one. The host keeps the queue as
-// full as the configured depth allows.
+// full as the configured depth allows; the depth limit itself is the shared
+// sim.Window, which accounts full-queue admission waits.
 func (qp *QueuePair) RunReads(commands int, bytesPer int64) sim.Time {
 	if commands <= 0 {
 		return qp.eng.Now()
 	}
-	type pending struct{ done sim.Time }
-	var window []pending
-
-	var issueTime sim.Time = qp.eng.Now()
+	issueTime := qp.eng.Now()
 	for i := 0; i < commands; i++ {
 		// Respect queue depth: wait for the oldest completion.
-		if len(window) >= qp.cfg.Depth {
-			oldest := window[0]
-			window = window[1:]
-			if oldest.done > issueTime {
-				issueTime = oldest.done
-			}
-		}
+		issueTime = qp.sq.Admit(issueTime)
 		// Host submission and completion work serialise on one CPU; both
 		// are charged per command (the completion half is processed while
 		// later commands stream, but still consumes the same core).
@@ -107,7 +107,7 @@ func (qp *QueuePair) RunReads(commands int, bytesPer int64) sim.Time {
 		xferDone := qp.link.TransferAt(maxQP(ready, qp.eng.Now()), bytesPer)
 		// Completion processing back on the host CPU.
 		compDone := xferDone + qp.cfg.CompletionOverhead
-		window = append(window, pending{done: compDone})
+		qp.sq.Complete(compDone)
 		qp.completed++
 		qp.bytes += uint64(bytesPer)
 		if compDone > qp.lastDone {
@@ -116,6 +116,9 @@ func (qp *QueuePair) RunReads(commands int, bytesPer int64) sim.Time {
 	}
 	return qp.lastDone
 }
+
+// QueueWaitTime reports accumulated full-queue admission delay.
+func (qp *QueuePair) QueueWaitTime() sim.Time { return qp.sq.WaitTime() }
 
 // EffectiveBandwidth reports bytes moved over elapsed time for the whole
 // run (0 before any command).

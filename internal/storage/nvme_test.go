@@ -10,12 +10,12 @@ func TestQueuePairValidation(t *testing.T) {
 	eng := sim.NewEngine()
 	bad := DefaultQueuePairConfig()
 	bad.Depth = 0
-	if _, err := NewQueuePair(eng, bad); err == nil {
+	if _, err := NewQueuePair(eng, "qp0", bad); err == nil {
 		t.Error("depth 0 accepted")
 	}
 	bad = DefaultQueuePairConfig()
 	bad.LinkBytesPerSec = 0
-	if _, err := NewQueuePair(eng, bad); err == nil {
+	if _, err := NewQueuePair(eng, "qp0", bad); err == nil {
 		t.Error("zero bandwidth accepted")
 	}
 }
@@ -29,7 +29,7 @@ func TestQueuePairJustifiesBulkEfficiencies(t *testing.T) {
 		eng := sim.NewEngine()
 		cfg := DefaultQueuePairConfig()
 		cfg.Depth = depth
-		qp, err := NewQueuePair(eng, cfg)
+		qp, err := NewQueuePair(eng, "qp0", cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -64,7 +64,7 @@ func TestQueueDepthScaling(t *testing.T) {
 		eng := sim.NewEngine()
 		cfg := DefaultQueuePairConfig()
 		cfg.Depth = depth
-		qp, _ := NewQueuePair(eng, cfg)
+		qp, _ := NewQueuePair(eng, "qp0", cfg)
 		qp.RunReads(500, 128<<10)
 		return qp.EffectiveBandwidth()
 	}
@@ -84,7 +84,7 @@ func TestQueueDepthScaling(t *testing.T) {
 
 func TestQueuePairAccounting(t *testing.T) {
 	eng := sim.NewEngine()
-	qp, _ := NewQueuePair(eng, DefaultQueuePairConfig())
+	qp, _ := NewQueuePair(eng, "qp0", DefaultQueuePairConfig())
 	if qp.EffectiveBandwidth() != 0 {
 		t.Error("bandwidth before any command not 0")
 	}

@@ -85,7 +85,7 @@ type SSD struct {
 	eng      *sim.Engine
 	name     string
 	cfg      SSDConfig
-	internal *sim.Link // aggregate flash-channel capacity
+	internal sim.Connection // aggregate flash-channel capacity
 
 	reads        uint64
 	pagesRead    uint64
@@ -166,7 +166,7 @@ func (s *SSD) writeInternal(n int64) sim.Time {
 }
 
 // InternalUtilization reports flash capacity utilisation.
-func (s *SSD) InternalUtilization() float64 { return s.internal.Utilization() }
+func (s *SSD) InternalUtilization() float64 { return s.internal.ResourceStats().Utilization }
 
 // Stats snapshot.
 type SSDStats struct {
@@ -203,8 +203,8 @@ type Array struct {
 	ssds []*SSD
 	// hostLink is the single PCIe Gen3 x16 connection between the host
 	// and the whole SSD array (16 GB/s raw, ~12 GB/s effective after IO
-	// software stack inefficiency [6]).
-	hostLink *sim.Link
+	// software stack inefficiency [6]); registered as "ssd.host_link".
+	hostLink sim.Connection
 	hostEff  float64
 	// GatherEff further derates the host interface for scattered
 	// candidate-gather reads (RandomPages): each stripe is a separate
@@ -224,7 +224,7 @@ func NewArray(eng *sim.Engine, n int, cfg SSDConfig, rawBytesPerSec, eff float64
 	}
 	a := &Array{
 		eng:       eng,
-		hostLink:  sim.NewLink(eng, "host.pcie", rawBytesPerSec, hostLatency),
+		hostLink:  sim.NewLink(eng, "ssd.host_link", rawBytesPerSec, hostLatency),
 		hostEff:   eff,
 		GatherEff: 1.0,
 	}
@@ -309,14 +309,14 @@ func (a *Array) DeviceRead(i int, n int64, pattern AccessPattern) sim.Time {
 }
 
 // HostLinkBytes reports payload moved over the shared host PCIe link.
-func (a *Array) HostLinkBytes() uint64 { return a.hostLink.TotalBytes() }
+func (a *Array) HostLinkBytes() uint64 { return a.hostLink.ResourceStats().Bytes }
 
 // HostLinkQueuedDelay reports accumulated contention on the host link —
 // the quantity that saturates in Fig. 11's near-memory rerank plateau.
-func (a *Array) HostLinkQueuedDelay() sim.Time { return a.hostLink.QueuedDelay() }
+func (a *Array) HostLinkQueuedDelay() sim.Time { return a.hostLink.ResourceStats().Wait }
 
 // HostLinkUtilization reports host PCIe utilisation.
-func (a *Array) HostLinkUtilization() float64 { return a.hostLink.Utilization() }
+func (a *Array) HostLinkUtilization() float64 { return a.hostLink.ResourceStats().Utilization }
 
 // EffectiveHostBandwidth reports raw × efficiency in bytes/s.
 func (a *Array) EffectiveHostBandwidth() float64 {

@@ -1,0 +1,41 @@
+package trace
+
+import (
+	"repro/internal/sim"
+)
+
+// AddResources records the end-of-run state of every active shared
+// resource in the central registry as counter events on a per-resource
+// lane: payload bytes, accumulated wait and stall counts become counter
+// tracks in the viewer, so bottleneck resources stand out next to the
+// task lanes. Idle resources are skipped.
+func (t *Timeline) AddResources(reg *sim.StatsRegistry, now sim.Time) {
+	reg.Walk(func(name string, res sim.Resource) {
+		st := res.ResourceStats()
+		if st.Ops == 0 && st.Stalls == 0 {
+			return
+		}
+		args := map[string]any{
+			"ops":    st.Ops,
+			"stalls": st.Stalls,
+		}
+		if st.Bytes > 0 {
+			args["bytes"] = st.Bytes
+		}
+		if st.Wait > 0 {
+			args["wait_us"] = us(st.Wait)
+		}
+		if st.MaxOccupancy > 0 {
+			args["max_occ"] = st.MaxOccupancy
+		}
+		t.events = append(t.events, Event{
+			Name:  name,
+			Cat:   "resource." + string(st.Kind),
+			Phase: "C",
+			TS:    us(now),
+			PID:   1,
+			TID:   t.lane("resources"),
+			Args:  args,
+		})
+	})
+}

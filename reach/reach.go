@@ -148,6 +148,12 @@ func (s *System) Core() *core.System { return s.sys }
 // Now reports the current simulated time.
 func (s *System) Now() sim.Time { return s.sys.Engine().Now() }
 
+// Resources exposes the central stats registry: every shared hardware
+// resource (memory channels, AIMbus, PCIe links, NoC ports, stream
+// buffers, request queues, NVMe windows) under its hierarchical name, with
+// the uniform base-layer statistics snapshot.
+func (s *System) Resources() *sim.StatsRegistry { return s.sys.Engine().Stats() }
+
 // Run drains all scheduled simulation work.
 func (s *System) Run() { s.sys.Run() }
 

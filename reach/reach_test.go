@@ -158,6 +158,24 @@ func TestEndToEndBatchCompletes(t *testing.T) {
 			t.Errorf("no %s energy", comp)
 		}
 	}
+	// The central resource registry exposes the shared hardware the run
+	// contended on, with traffic accounted at the base layer.
+	reg := s.Resources()
+	for _, name := range []string{"mem.aimbus", "noc.cpu.out", "ssd0.flash"} {
+		if _, ok := reg.Lookup(name); !ok {
+			t.Errorf("registry missing %s (have %v)", name, reg.Names())
+		}
+	}
+	for _, name := range []string{"mem.host", "ssd.host_link"} {
+		res, ok := reg.Lookup(name)
+		if !ok {
+			t.Errorf("registry missing %s (have %v)", name, reg.Names())
+			continue
+		}
+		if res.ResourceStats().Bytes == 0 {
+			t.Errorf("%s carried no traffic", name)
+		}
+	}
 }
 
 func TestPipelinedThroughputApproachesBottleneckStage(t *testing.T) {
