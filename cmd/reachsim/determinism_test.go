@@ -30,6 +30,41 @@ func statsDigest(t *testing.T) ([32]byte, string) {
 	return sha256.Sum256([]byte(sb.String())), sb.String()
 }
 
+// renderFig12 renders the Fig. 12 tables with the given worker count.
+func renderFig12(t *testing.T, workers int) string {
+	t.Helper()
+	r, err := experiments.Fig12(workload.DefaultModel(), experiments.WithWorkers(workers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := r.Table().Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Table().CSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+// TestFig12WorkerCountInvariant is the parallelism half of the determinism
+// contract: every run owns its own system and event engine, so the figure
+// must come out byte-identical whether its runs execute serially (-j 1) or
+// eight at a time (-j 8).
+func TestFig12WorkerCountInvariant(t *testing.T) {
+	serial := renderFig12(t, 1)
+	parallel := renderFig12(t, 8)
+	if serial != parallel {
+		l1, l2 := strings.Split(serial, "\n"), strings.Split(parallel, "\n")
+		for i := 0; i < len(l1) && i < len(l2); i++ {
+			if l1[i] != l2[i] {
+				t.Fatalf("fig12 diverged between -j 1 and -j 8 at line %d:\n  -j 1: %s\n  -j 8: %s", i+1, l1[i], l2[i])
+			}
+		}
+		t.Fatalf("fig12 output diverged in length: %d vs %d bytes", len(serial), len(parallel))
+	}
+}
+
 // The simulator must be bit-deterministic: two runs with an identical
 // configuration produce byte-identical statistics. This is the regression
 // guard for the engine's FIFO tie-breaking, the sorted registry walk and

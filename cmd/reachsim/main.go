@@ -5,21 +5,25 @@
 //
 //	reachsim -exp fig13            # one experiment
 //	reachsim -exp all              # everything
+//	reachsim -exp all -j 8         # everything, 8 simulations in flight
 //	reachsim -exp fig9 -csv        # CSV instead of aligned text
 //	reachsim -list                 # list experiment ids
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strings"
 
 	"repro/internal/config"
 	"repro/internal/energy"
 	"repro/internal/experiments"
 	"repro/internal/report"
+	"repro/internal/runner"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -39,6 +43,7 @@ func main() {
 		cfgPath   = flag.String("config", "", "optional system config JSON (defaults to Table II)")
 		tracePath = flag.String("trace", "", "write a Chrome trace of a ReACH pipeline run to this file")
 		stats     = flag.Bool("stats", false, "run a ReACH pipeline and dump all component statistics")
+		jobs      = flag.Int("j", 0, "max simulations in flight across all experiments (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -67,7 +72,9 @@ func main() {
 	}
 
 	if *list {
-		for _, id := range experimentIDs {
+		ids := append([]string(nil), experimentIDs...)
+		sort.Strings(ids)
+		for _, id := range ids {
 			fmt.Println(id)
 		}
 		return
@@ -87,20 +94,39 @@ func main() {
 	if *exp == "all" {
 		ids = experimentIDs
 	}
-	for _, id := range ids {
-		tables, err := run(id, cfg, m)
-		if err != nil {
-			fatal(err)
-		}
-		for _, t := range tables {
-			if err := emit(t, os.Stdout, *csvOut); err != nil {
-				fatal(err)
-			}
-		}
+	if err := runAll(os.Stdout, ids, cfg, m, *jobs, *csvOut); err != nil {
+		fatal(err)
 	}
 }
 
-func run(id string, cfg config.SystemConfig, m workload.Model) ([]*report.Table, error) {
+// runAll executes the experiments concurrently on a shared simulation pool
+// and emits their tables in id order. The pool bounds the total number of
+// in-flight simulations at -j across all experiments (every experiment's
+// internal sweep draws from the same budget), so the output is identical
+// for any -j: tables are collected per experiment and printed in order.
+func runAll(w io.Writer, ids []string, cfg config.SystemConfig, m workload.Model, jobs int, csv bool) error {
+	pool := runner.NewPool(jobs)
+	// The outer fan-out is unbounded: experiments only hold pool slots
+	// while leaf simulations run, so len(ids) goroutines cost nothing and
+	// a bounded outer layer could not deadlock the inner sweeps anyway.
+	results, err := runner.Map(context.Background(), runner.Options{Workers: len(ids)}, ids,
+		func(_ context.Context, _ int, id string) ([]*report.Table, error) {
+			return run(id, cfg, m, experiments.WithPool(pool))
+		})
+	if err != nil {
+		return err
+	}
+	for _, tables := range results {
+		for _, t := range tables {
+			if err := emit(t, w, csv); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func run(id string, cfg config.SystemConfig, m workload.Model, opts ...experiments.Option) ([]*report.Table, error) {
 	switch strings.ToLower(id) {
 	case "table1":
 		return []*report.Table{experiments.TableI(m)}, nil
@@ -111,97 +137,97 @@ func run(id string, cfg config.SystemConfig, m workload.Model) ([]*report.Table,
 	case "table4":
 		return []*report.Table{experiments.TableIV(energy.DefaultCosts())}, nil
 	case "fig8":
-		r, err := experiments.Fig8(m)
+		r, err := experiments.Fig8(m, opts...)
 		if err != nil {
 			return nil, err
 		}
 		return []*report.Table{r.Table()}, nil
 	case "fig9":
-		s, err := experiments.Fig9(m)
+		s, err := experiments.Fig9(m, opts...)
 		if err != nil {
 			return nil, err
 		}
 		return []*report.Table{s.Table("Fig 9")}, nil
 	case "fig10":
-		s, err := experiments.Fig10(m)
+		s, err := experiments.Fig10(m, opts...)
 		if err != nil {
 			return nil, err
 		}
 		return []*report.Table{s.Table("Fig 10")}, nil
 	case "fig11":
-		s, err := experiments.Fig11(m)
+		s, err := experiments.Fig11(m, opts...)
 		if err != nil {
 			return nil, err
 		}
 		return []*report.Table{s.Table("Fig 11")}, nil
 	case "fig12":
-		r, err := experiments.Fig12(m)
+		r, err := experiments.Fig12(m, opts...)
 		if err != nil {
 			return nil, err
 		}
 		return []*report.Table{r.Table()}, nil
 	case "fig13":
-		r, err := experiments.Fig13(m)
+		r, err := experiments.Fig13(m, opts...)
 		if err != nil {
 			return nil, err
 		}
 		return []*report.Table{r.Table()}, nil
 	case "ablation-gam":
-		r, err := experiments.AblationGAM(m)
+		r, err := experiments.AblationGAM(m, opts...)
 		if err != nil {
 			return nil, err
 		}
 		return []*report.Table{r.Table()}, nil
 	case "ablation-mapping":
-		r, err := experiments.AblationMapping(m)
+		r, err := experiments.AblationMapping(m, opts...)
 		if err != nil {
 			return nil, err
 		}
 		return []*report.Table{r.Table()}, nil
 	case "ablation-granularity":
-		r, err := experiments.AblationGranularity(m)
+		r, err := experiments.AblationGranularity(m, opts...)
 		if err != nil {
 			return nil, err
 		}
 		return []*report.Table{r.Table()}, nil
 	case "recallsweep":
-		r, err := experiments.RecallSweep(m)
+		r, err := experiments.RecallSweep(m, opts...)
 		if err != nil {
 			return nil, err
 		}
 		return []*report.Table{r.Table()}, nil
 	case "multitenant":
-		r, err := experiments.MultiTenant(m)
+		r, err := experiments.MultiTenant(m, opts...)
 		if err != nil {
 			return nil, err
 		}
 		return []*report.Table{r.Table()}, nil
 	case "reverselookup":
-		r, err := experiments.ReverseLookup(m)
+		r, err := experiments.ReverseLookup(m, opts...)
 		if err != nil {
 			return nil, err
 		}
 		return []*report.Table{r.Table()}, nil
 	case "skew":
-		r, err := experiments.SkewExperiment(m)
+		r, err := experiments.SkewExperiment(m, opts...)
 		if err != nil {
 			return nil, err
 		}
 		return []*report.Table{r.Table()}, nil
 	case "loadsweep":
-		onchip, reach, err := experiments.LoadSweepBoth(m)
+		onchip, reach, err := experiments.LoadSweepBoth(m, opts...)
 		if err != nil {
 			return nil, err
 		}
 		return []*report.Table{experiments.LoadSweepTable(onchip, reach)}, nil
 	case "ablation-nsbuffer":
-		r, err := experiments.AblationNSBuffer(m)
+		r, err := experiments.AblationNSBuffer(m, opts...)
 		if err != nil {
 			return nil, err
 		}
 		return []*report.Table{r.Table()}, nil
 	case "motivation":
-		r, err := experiments.Motivation()
+		r, err := experiments.Motivation(opts...)
 		if err != nil {
 			return nil, err
 		}

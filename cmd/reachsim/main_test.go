@@ -1,6 +1,7 @@
 package main
 
 import (
+	"sort"
 	"strings"
 	"testing"
 
@@ -34,6 +35,38 @@ func TestRunAllExperimentIDs(t *testing.T) {
 				t.Fatalf("%s rendered empty output", id)
 			}
 		})
+	}
+}
+
+// TestListOutputGolden pins the -list contract: every registered id, one
+// per line, in sorted order. Scripts parse this.
+func TestListOutputGolden(t *testing.T) {
+	const want = `ablation-gam
+ablation-granularity
+ablation-mapping
+ablation-nsbuffer
+fig10
+fig11
+fig12
+fig13
+fig8
+fig9
+loadsweep
+motivation
+multitenant
+recallsweep
+reverselookup
+skew
+table1
+table2
+table3
+table4
+`
+	ids := append([]string(nil), experimentIDs...)
+	sort.Strings(ids)
+	got := strings.Join(ids, "\n") + "\n"
+	if got != want {
+		t.Errorf("-list output changed:\ngot:\n%swant:\n%s", got, want)
 	}
 }
 

@@ -8,10 +8,12 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
 
+	"repro/internal/runner"
 	"repro/internal/workload"
 	"repro/reach"
 )
@@ -37,18 +39,22 @@ func main() {
 	m := workload.DefaultModel()
 	levels := []reach.Level{reach.OnChip, reach.NearMem, reach.NearStor}
 
-	var results []outcome
+	var assignments []assignment
 	for _, fe := range levels {
 		for _, sl := range levels {
 			for _, rr := range levels {
-				a := assignment{fe, sl, rr}
-				o, err := evaluate(a, m)
-				if err != nil {
-					log.Fatalf("%v: %v", a, err)
-				}
-				results = append(results, o)
+				assignments = append(assignments, assignment{fe, sl, rr})
 			}
 		}
+	}
+	// Each assignment builds its own system, so the 27 evaluations run on
+	// the shared worker pool (GOMAXPROCS workers by default).
+	results, err := runner.Map(context.Background(), runner.Options{}, assignments,
+		func(_ context.Context, _ int, a assignment) (outcome, error) {
+			return evaluate(a, m)
+		})
+	if err != nil {
+		log.Fatal(err)
 	}
 	sort.Slice(results, func(i, j int) bool { return results[i].throughput > results[j].throughput })
 

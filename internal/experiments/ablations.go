@@ -6,7 +6,6 @@ import (
 
 	"repro/internal/accel"
 	"repro/internal/config"
-	"repro/internal/core"
 	"repro/internal/report"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -41,49 +40,79 @@ type GAMAblationResult struct {
 	Cells []*GAMAblationCell
 }
 
-// AblationGAM quantifies the contribution of the GAM's mechanisms: the
-// cross-job pipelining of §II-D, and the status-polling slack that trades
-// detection latency against status-packet traffic.
-func AblationGAM(m workload.Model) (*GAMAblationResult, error) {
-	variants := []GAMVariant{
+// gamVariants is the GAM ablation's variant axis.
+func gamVariants() []GAMVariant {
+	return []GAMVariant{
 		{Name: "baseline (pipelined, 10% slack)", Pipelining: true, SlackFraction: 0.10, CommandNS: 500},
 		{Name: "no cross-job pipelining", Pipelining: false, SlackFraction: 0.10, CommandNS: 500},
 		{Name: "tight polling (1% slack)", Pipelining: true, SlackFraction: 0.01, CommandNS: 500},
 		{Name: "loose polling (100% slack)", Pipelining: true, SlackFraction: 1.0, CommandNS: 500},
 		{Name: "slow command path (10us)", Pipelining: true, SlackFraction: 0.10, CommandNS: 10_000},
 	}
-	res := &GAMAblationResult{}
-	for _, v := range variants {
-		cfg := configFor(ReACHMapping(), 4)
-		cfg.GAM.CrossJobPipelining = v.Pipelining
-		cfg.GAM.StatusSlackFraction = v.SlackFraction
-		cfg.GAM.CommandLatencyNS = v.CommandNS
-		run, err := runPipelineWithConfig(cfg, m, ReACHMapping(), Fig13Batches)
-		if err != nil {
-			return nil, err
+}
+
+// ablationGAMSpecs is the run matrix: the ReACH pipeline once per GAM
+// variant, the variant applied as a per-run config mutation.
+func ablationGAMSpecs(m workload.Model) []RunSpec {
+	variants := gamVariants()
+	specs := make([]RunSpec, len(variants))
+	for i, v := range variants {
+		v := v
+		specs[i] = RunSpec{
+			Name:      "ablation-gam " + v.Name,
+			Model:     m,
+			Mapping:   ReACHMapping(),
+			Instances: 4,
+			Batches:   Fig13Batches,
+			Mutate: func(cfg *config.SystemConfig) {
+				cfg.GAM.CrossJobPipelining = v.Pipelining
+				cfg.GAM.StatusSlackFraction = v.SlackFraction
+				cfg.GAM.CommandLatencyNS = v.CommandNS
+			},
+			Background: BackgroundMakespanRR,
 		}
-		var polls, tasks, polled float64
-		var lag sim.Time
-		for _, j := range run.Jobs {
-			for _, n := range j.Nodes {
-				polls += float64(n.Polls)
-				tasks++
-				if n.Polls > 0 {
-					polled++
-					lag += n.DetectedAt - n.CompletedAt
-				}
+	}
+	return specs
+}
+
+// ablationGAMCell reduces one variant's run to its row: throughput,
+// latency and the observable polling behaviour of the Fig. 5 machinery.
+func ablationGAMCell(v GAMVariant, run *RunResult) *GAMAblationCell {
+	var polls, tasks, polled float64
+	var lag sim.Time
+	for _, j := range run.Jobs {
+		for _, n := range j.Nodes {
+			polls += float64(n.Polls)
+			tasks++
+			if n.Polls > 0 {
+				polled++
+				lag += n.DetectedAt - n.CompletedAt
 			}
 		}
-		cell := &GAMAblationCell{
-			Variant:    v,
-			Throughput: run.ThroughputBatchesPerSec(),
-			Latency:    run.Latency,
-			MeanPolls:  polls / tasks,
-		}
-		if polled > 0 {
-			cell.MeanDetectLag = sim.Time(float64(lag) / polled)
-		}
-		res.Cells = append(res.Cells, cell)
+	}
+	cell := &GAMAblationCell{
+		Variant:    v,
+		Throughput: run.ThroughputBatchesPerSec(),
+		Latency:    run.Latency,
+		MeanPolls:  polls / tasks,
+	}
+	if polled > 0 {
+		cell.MeanDetectLag = sim.Time(float64(lag) / polled)
+	}
+	return cell
+}
+
+// AblationGAM quantifies the contribution of the GAM's mechanisms: the
+// cross-job pipelining of §II-D, and the status-polling slack that trades
+// detection latency against status-packet traffic.
+func AblationGAM(m workload.Model, opts ...Option) (*GAMAblationResult, error) {
+	runs, err := RunSpecs(ablationGAMSpecs(m), opts...)
+	if err != nil {
+		return nil, err
+	}
+	res := &GAMAblationResult{}
+	for i, v := range gamVariants() {
+		res.Cells = append(res.Cells, ablationGAMCell(v, runs[i]))
 	}
 	return res, nil
 }
@@ -125,33 +154,58 @@ type MappingAblationResult struct {
 	Cells []*MappingCell // sorted by descending throughput
 }
 
-// AblationMapping exhaustively evaluates all 27 stage→level mappings and
-// ranks them — the quantitative version of the paper's §IV-B mapping
-// argument. The ReACH mapping should rank first on throughput.
-func AblationMapping(m workload.Model) (*MappingAblationResult, error) {
+// allMappings enumerates the full 3^3 stage→level assignment space.
+func allMappings() []Mapping {
 	levels := []accel.Level{accel.OnChip, accel.NearMemory, accel.NearStorage}
-	res := &MappingAblationResult{}
+	var out []Mapping
 	for _, fe := range levels {
 		for _, sl := range levels {
 			for _, rr := range levels {
-				mp := Mapping{FE: fe, SL: sl, RR: rr}
-				run, err := RunPipeline(m, mp, 4, 4)
-				if err != nil {
-					return nil, err
-				}
-				res.Cells = append(res.Cells, &MappingCell{
-					Mapping:    mp,
-					Throughput: run.ThroughputBatchesPerSec(),
-					Latency:    run.Latency,
-					EnergyJ:    run.TotalEnergyPerBatch(),
-				})
+				out = append(out, Mapping{FE: fe, SL: sl, RR: rr})
 			}
 		}
+	}
+	return out
+}
+
+// ablationMappingSpecs is the run matrix: the full pipeline under every
+// stage→level assignment.
+func ablationMappingSpecs(m workload.Model) []RunSpec {
+	mappings := allMappings()
+	specs := make([]RunSpec, len(mappings))
+	for i, mp := range mappings {
+		specs[i] = PipelineSpec(fmt.Sprintf("ablation-mapping FE:%v SL:%v RR:%v", mp.FE, mp.SL, mp.RR), m, mp, 4, 4)
+	}
+	return specs
+}
+
+// ablationMappingReduce ranks the completed runs by throughput.
+func ablationMappingReduce(runs []*RunResult) *MappingAblationResult {
+	res := &MappingAblationResult{}
+	for i, mp := range allMappings() {
+		run := runs[i]
+		res.Cells = append(res.Cells, &MappingCell{
+			Mapping:    mp,
+			Throughput: run.ThroughputBatchesPerSec(),
+			Latency:    run.Latency,
+			EnergyJ:    run.TotalEnergyPerBatch(),
+		})
 	}
 	sort.Slice(res.Cells, func(i, j int) bool {
 		return res.Cells[i].Throughput > res.Cells[j].Throughput
 	})
-	return res, nil
+	return res
+}
+
+// AblationMapping exhaustively evaluates all 27 stage→level mappings and
+// ranks them — the quantitative version of the paper's §IV-B mapping
+// argument. The ReACH mapping should rank first on throughput.
+func AblationMapping(m workload.Model, opts ...Option) (*MappingAblationResult, error) {
+	runs, err := RunSpecs(ablationMappingSpecs(m), opts...)
+	if err != nil {
+		return nil, err
+	}
+	return ablationMappingReduce(runs), nil
 }
 
 // Best returns the top-throughput mapping.
@@ -187,37 +241,4 @@ func (r *MappingAblationResult) Table() *report.Table {
 	}
 	t.AddNote("paper's ReACH mapping: FE:OnChip SL:NearMem RR:NearStor")
 	return t
-}
-
-// runPipelineWithConfig is RunPipeline with an explicit system config
-// (used by the ablations to vary GAM parameters).
-func runPipelineWithConfig(cfg config.SystemConfig, m workload.Model, mp Mapping, batches int) (*RunResult, error) {
-	if err := m.Validate(); err != nil {
-		return nil, err
-	}
-	sys, err := core.NewSystem(cfg)
-	if err != nil {
-		return nil, err
-	}
-	res := &RunResult{Sys: sys, Batches: batches, StageSpan: make(map[string]sim.Time)}
-	for b := 0; b < batches; b++ {
-		j, err := BuildPipelineJob(sys, b, m, mp)
-		if err != nil {
-			return nil, err
-		}
-		if err := sys.GAM().Submit(j); err != nil {
-			return nil, err
-		}
-		res.Jobs = append(res.Jobs, j)
-	}
-	sys.Run()
-	for _, j := range res.Jobs {
-		if !j.Done() {
-			return nil, fmt.Errorf("experiments: job %d did not complete", j.ID)
-		}
-	}
-	res.Latency = res.Jobs[0].Latency()
-	res.Makespan = res.Jobs[batches-1].FinishedAt - res.Jobs[0].SubmittedAt
-	sys.Background(StageRR, res.Makespan)
-	return res, nil
 }

@@ -32,54 +32,67 @@ type BufferAblationResult struct {
 	Cells []*BufferAblationCell
 }
 
-// AblationNSBuffer runs the sweep.
-func AblationNSBuffer(m workload.Model) (*BufferAblationResult, error) {
-	res := &BufferAblationResult{}
-	for _, hit := range []float64{1.0, 0.75, 0.5, 0.25, 0.0} {
-		eng := sim.NewEngine()
-		meter := energy.NewMeter(energy.DefaultCosts())
-		cfg := config.Default().WithInstances(0, 0, 1)
-		// Parameter gathers are page-granular: without the buffer they
-		// hammer the flash IOPS limit.
-		cfg.Storage.GatherGrainBytes = cfg.Storage.PageBytes
-		plat, err := accel.NewPlatform(eng, cfg, meter)
-		if err != nil {
-			return nil, err
-		}
-		a, err := plat.NewNearStor(0)
-		if err != nil {
-			return nil, err
-		}
-		a.BufferHitRatio = hit
-		kernel, err := fpga.NewRegistry().Lookup("CNN-ZCU9")
-		if err != nil {
-			return nil, err
-		}
-		var last sim.Time
-		for img := 0; img < m.BatchSize; img++ {
-			// Each image re-streams the full uncompressed parameter set
-			// (the buffer exists precisely because this reuse is heavy).
-			done, err := a.Execute(&accel.Task{
-				Name: fmt.Sprintf("fe%d", img), Stage: StageFE, Kernel: kernel,
-				MACs:    m.FeatureMACsPerImage(),
-				Bytes:   m.CNN.ParamBytes(),
-				Source:  accel.SourceDeviceDRAM,
-				Pattern: storage.RandomPages,
-			})
-			if err != nil {
-				return nil, err
-			}
-			eng.RunUntil(done)
-			last = done
-		}
-		res.Cells = append(res.Cells, &BufferAblationCell{
-			HitRatio: hit,
-			Runtime:  last,
-			EnergyJ:  meter.Total(),
-			SSDJ:     meter.Component(energy.SSD),
-		})
+// bufferHitRatios is the sweep axis, from always-hit down to no-buffer.
+func bufferHitRatios() []float64 { return []float64{1.0, 0.75, 0.5, 0.25, 0.0} }
+
+// bufferCell runs the FE stage on one private near-storage platform with
+// the given parameter-buffer hit ratio. Each cell owns its own engine and
+// meter, so cells are independent runs.
+func bufferCell(m workload.Model, hit float64) (*BufferAblationCell, error) {
+	eng := sim.NewEngine()
+	meter := energy.NewMeter(energy.DefaultCosts())
+	cfg := config.Default().WithInstances(0, 0, 1)
+	// Parameter gathers are page-granular: without the buffer they
+	// hammer the flash IOPS limit.
+	cfg.Storage.GatherGrainBytes = cfg.Storage.PageBytes
+	plat, err := accel.NewPlatform(eng, cfg, meter)
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	a, err := plat.NewNearStor(0)
+	if err != nil {
+		return nil, err
+	}
+	a.BufferHitRatio = hit
+	kernel, err := fpga.NewRegistry().Lookup("CNN-ZCU9")
+	if err != nil {
+		return nil, err
+	}
+	var last sim.Time
+	for img := 0; img < m.BatchSize; img++ {
+		// Each image re-streams the full uncompressed parameter set
+		// (the buffer exists precisely because this reuse is heavy).
+		done, err := a.Execute(&accel.Task{
+			Name: fmt.Sprintf("fe%d", img), Stage: StageFE, Kernel: kernel,
+			MACs:    m.FeatureMACsPerImage(),
+			Bytes:   m.CNN.ParamBytes(),
+			Source:  accel.SourceDeviceDRAM,
+			Pattern: storage.RandomPages,
+		})
+		if err != nil {
+			return nil, err
+		}
+		eng.RunUntil(done)
+		last = done
+	}
+	return &BufferAblationCell{
+		HitRatio: hit,
+		Runtime:  last,
+		EnergyJ:  meter.Total(),
+		SSDJ:     meter.Component(energy.SSD),
+	}, nil
+}
+
+// AblationNSBuffer runs the sweep, one hit ratio per parallel run.
+func AblationNSBuffer(m workload.Model, opts ...Option) (*BufferAblationResult, error) {
+	ratios := bufferHitRatios()
+	cells, err := mapRuns(buildOptions(opts), ratios,
+		func(i int) string { return fmt.Sprintf("nsbuffer hit=%.2f", ratios[i]) },
+		func(hit float64) (*BufferAblationCell, error) { return bufferCell(m, hit) })
+	if err != nil {
+		return nil, err
+	}
+	return &BufferAblationResult{Cells: cells}, nil
 }
 
 // Table renders the sweep.

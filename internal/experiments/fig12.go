@@ -29,49 +29,57 @@ type Fig12Result struct {
 // Fig12Counts is the figure's instance axis.
 func Fig12Counts() []int { return []int{1, 2, 4} }
 
+// fig12Specs is the run matrix: the on-chip baseline first, then each
+// near-data level at each instance count (the on-chip bar does not scale
+// with n, so it is a single run reused across columns).
+func fig12Specs(m workload.Model) (specs []RunSpec, levels []accel.Level, counts []int) {
+	add := func(l accel.Level, n int) {
+		specs = append(specs, PipelineSpec(fmt.Sprintf("fig12 %v/%d", l, n), m, SingleLevel(l), n, 1))
+		levels = append(levels, l)
+		counts = append(counts, n)
+	}
+	add(accel.OnChip, 1)
+	for _, n := range Fig12Counts() {
+		add(accel.NearMemory, n)
+		add(accel.NearStorage, n)
+	}
+	return specs, levels, counts
+}
+
+// fig12Cell reduces one run to its bar.
+func fig12Cell(l accel.Level, n int, run *RunResult) *Fig12Cell {
+	cell := &Fig12Cell{
+		Level:        l,
+		Instances:    n,
+		StageRuntime: run.StageSpan,
+		StageEnergy:  make(map[string]float64),
+		Runtime:      run.Latency,
+	}
+	meter := run.Sys.Meter()
+	for _, st := range Stages() {
+		cell.StageEnergy[st] = meter.Stage(st)
+		cell.EnergyJ += meter.Stage(st)
+	}
+	return cell
+}
+
 // Fig12 runs the end-to-end CBIR pipeline on each single compute level at
 // 1, 2 and 4 instances (the paper reserves half the DIMMs for the host, so
 // near-memory scales to 4).
-func Fig12(m workload.Model) (*Fig12Result, error) {
-	res := &Fig12Result{}
-	runCell := func(l accel.Level, n int) (*Fig12Cell, error) {
-		run, err := RunPipeline(m, SingleLevel(l), n, 1)
-		if err != nil {
-			return nil, err
-		}
-		cell := &Fig12Cell{
-			Level:        l,
-			Instances:    n,
-			StageRuntime: run.StageSpan,
-			StageEnergy:  make(map[string]float64),
-			Runtime:      run.Latency,
-		}
-		meter := run.Sys.Meter()
-		for _, st := range Stages() {
-			cell.StageEnergy[st] = meter.Stage(st)
-			cell.EnergyJ += meter.Stage(st)
-		}
-		return cell, nil
-	}
-
-	base, err := runCell(accel.OnChip, 1)
+func Fig12(m workload.Model, opts ...Option) (*Fig12Result, error) {
+	specs, levels, counts := fig12Specs(m)
+	runs, err := RunSpecs(specs, opts...)
 	if err != nil {
 		return nil, err
 	}
-	res.Baseline = base
-	for _, n := range Fig12Counts() {
-		for _, l := range []accel.Level{accel.OnChip, accel.NearMemory, accel.NearStorage} {
-			if l == accel.OnChip {
-				// The on-chip bar does not scale with n (one instance).
-				res.Cells = append(res.Cells, base)
-				continue
-			}
-			cell, err := runCell(l, n)
-			if err != nil {
-				return nil, err
-			}
-			res.Cells = append(res.Cells, cell)
+	res := &Fig12Result{Baseline: fig12Cell(levels[0], counts[0], runs[0])}
+	for i := 1; i < len(runs); i++ {
+		// Rebuild the figure's column order: each instance count shows
+		// the (unscaled) on-chip bar before its near-data bars.
+		if levels[i] == accel.NearMemory {
+			res.Cells = append(res.Cells, res.Baseline)
 		}
+		res.Cells = append(res.Cells, fig12Cell(levels[i], counts[i], runs[i]))
 	}
 	return res, nil
 }

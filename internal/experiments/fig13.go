@@ -46,15 +46,21 @@ type Fig13Result struct {
 // state.
 const Fig13Batches = 8
 
-// Fig13 compares on-chip, near-memory, near-storage and the ReACH mapping
-// on throughput (a), query latency (b) and energy per component (c).
-func Fig13(m workload.Model) (*Fig13Result, error) {
+// fig13Specs is the run matrix: one pipeline run per acceleration option.
+func fig13Specs(m workload.Model) []RunSpec {
+	opts := Fig13Options()
+	specs := make([]RunSpec, len(opts))
+	for i, opt := range opts {
+		specs[i] = PipelineSpec("fig13 "+opt.Name, m, opt.Mapping, opt.Instances, Fig13Batches)
+	}
+	return specs
+}
+
+// fig13Reduce assembles the figure's three panels from the option runs.
+func fig13Reduce(runs []*RunResult) *Fig13Result {
 	res := &Fig13Result{}
-	for _, opt := range Fig13Options() {
-		run, err := RunPipeline(m, opt.Mapping, opt.Instances, Fig13Batches)
-		if err != nil {
-			return nil, err
-		}
+	for i, opt := range Fig13Options() {
+		run := runs[i]
 		cell := &Fig13Cell{
 			Option:         opt,
 			Throughput:     run.ThroughputBatchesPerSec(),
@@ -68,7 +74,18 @@ func Fig13(m workload.Model) (*Fig13Result, error) {
 		}
 		res.Cells = append(res.Cells, cell)
 	}
-	return res, nil
+	return res
+}
+
+// Fig13 compares on-chip, near-memory, near-storage and the ReACH mapping
+// on throughput (a), query latency (b) and energy per component (c),
+// running the four configurations in parallel.
+func Fig13(m workload.Model, opts ...Option) (*Fig13Result, error) {
+	runs, err := RunSpecs(fig13Specs(m), opts...)
+	if err != nil {
+		return nil, err
+	}
+	return fig13Reduce(runs), nil
 }
 
 // baseline returns the on-chip cell.

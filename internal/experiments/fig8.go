@@ -21,14 +21,13 @@ type Fig8Result struct {
 	MovementShare float64
 }
 
-// Fig8 runs the end-to-end CBIR pipeline on the on-chip accelerator only
-// and reports the energy distribution (paper: ~79 % movement; rerank
-// movement ~52 % of total).
-func Fig8(m workload.Model) (*Fig8Result, error) {
-	run, err := RunPipeline(m, SingleLevel(accel.OnChip), 1, 1)
-	if err != nil {
-		return nil, err
-	}
+// fig8Specs is the experiment's run matrix: one on-chip-only pipeline run.
+func fig8Specs(m workload.Model) []RunSpec {
+	return []RunSpec{PipelineSpec("fig8 onchip", m, SingleLevel(accel.OnChip), 1, 1)}
+}
+
+// fig8Reduce derives the energy distribution from the completed run.
+func fig8Reduce(run *RunResult) *Fig8Result {
 	meter := run.Sys.Meter()
 	res := &Fig8Result{
 		Run:            run,
@@ -52,7 +51,18 @@ func Fig8(m workload.Model) (*Fig8Result, error) {
 		movement += meter.StageKind(st, energy.Movement)
 	}
 	res.MovementShare = movement / res.TotalJ
-	return res, nil
+	return res
+}
+
+// Fig8 runs the end-to-end CBIR pipeline on the on-chip accelerator only
+// and reports the energy distribution (paper: ~79 % movement; rerank
+// movement ~52 % of total).
+func Fig8(m workload.Model, opts ...Option) (*Fig8Result, error) {
+	runs, err := RunSpecs(fig8Specs(m), opts...)
+	if err != nil {
+		return nil, err
+	}
+	return fig8Reduce(runs[0]), nil
 }
 
 // Table renders the Fig. 8 breakdown.

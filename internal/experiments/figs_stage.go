@@ -19,10 +19,9 @@ type StageResult struct {
 	EnergyJ   float64
 }
 
-// RunStage executes a single pipeline stage in isolation at one level with
-// n instances and reports its runtime and energy (background included over
-// the stage runtime).
-func RunStage(stage string, l accel.Level, n int, m workload.Model) (*StageResult, error) {
+// StageSpec declares a single pipeline stage run in isolation at one
+// level with n instances, background charged over the stage runtime.
+func StageSpec(stage string, l accel.Level, n int, m workload.Model) (RunSpec, error) {
 	var cfg config.SystemConfig
 	switch l {
 	case accel.OnChip:
@@ -32,30 +31,48 @@ func RunStage(stage string, l accel.Level, n int, m workload.Model) (*StageResul
 	case accel.NearStorage:
 		cfg = config.Default().WithInstances(0, 0, n)
 	default:
-		return nil, fmt.Errorf("experiments: cannot run a stage on %v", l)
+		return RunSpec{}, fmt.Errorf("experiments: cannot run a stage on %v", l)
 	}
-	sys, err := core.NewSystem(cfg)
-	if err != nil {
-		return nil, err
-	}
-	j := core.NewJob(0)
-	if _, err := addStage(sys, j, stage, l, m, nil); err != nil {
-		return nil, err
-	}
-	if err := sys.GAM().Submit(j); err != nil {
-		return nil, err
-	}
-	sys.Run()
-	if !j.Done() {
-		return nil, fmt.Errorf("experiments: stage %s at %v did not complete", stage, l)
-	}
-	sys.Background(stage, j.Latency())
+	return RunSpec{
+		Name:    fmt.Sprintf("%s@%v/%d", stage, l, n),
+		Model:   m,
+		Batches: 1,
+		Config:  &cfg,
+		BuildJob: func(sys *core.System, id int) (*core.Job, error) {
+			j := core.NewJob(id)
+			if _, err := addStage(sys, j, stage, l, m, nil); err != nil {
+				return nil, err
+			}
+			return j, nil
+		},
+		Background:      BackgroundFirstLatency,
+		BackgroundLabel: stage,
+	}, nil
+}
+
+// stageResult reduces one isolated-stage run to a Figs. 9-11 cell.
+func stageResult(l accel.Level, n int, run *RunResult) *StageResult {
 	return &StageResult{
 		Level:     l,
 		Instances: n,
-		Runtime:   j.Latency(),
-		EnergyJ:   sys.Meter().Total(),
-	}, nil
+		Runtime:   run.Latency,
+		EnergyJ:   run.Sys.Meter().Total(),
+	}
+}
+
+// RunStage executes a single pipeline stage in isolation at one level with
+// n instances and reports its runtime and energy (background included over
+// the stage runtime).
+func RunStage(stage string, l accel.Level, n int, m workload.Model) (*StageResult, error) {
+	spec, err := StageSpec(stage, l, n, m)
+	if err != nil {
+		return nil, err
+	}
+	run, err := spec.Run()
+	if err != nil {
+		return nil, err
+	}
+	return stageResult(l, n, run), nil
 }
 
 // StageSweep holds a Figs. 9-11 style sweep: near-memory and near-storage
@@ -101,30 +118,56 @@ func (s *StageSweep) result(l accel.Level, n int) *StageResult {
 // SweepCounts is the instance axis of Figs. 9-11.
 func SweepCounts() []int { return []int{1, 2, 4, 8, 16} }
 
-// RunStageSweep produces the data behind one of Figs. 9-11.
-func RunStageSweep(stage string, m workload.Model) (*StageSweep, error) {
+// stageSweepSpecs builds the sweep's run matrix: the on-chip baseline
+// followed by (near-memory, near-storage) pairs at each instance count.
+func stageSweepSpecs(stage string, m workload.Model) ([]RunSpec, []func(*StageSweep, *RunResult), error) {
+	var specs []RunSpec
+	var place []func(*StageSweep, *RunResult)
+	add := func(l accel.Level, n int, assign func(*StageSweep, *StageResult)) error {
+		spec, err := StageSpec(stage, l, n, m)
+		if err != nil {
+			return err
+		}
+		specs = append(specs, spec)
+		place = append(place, func(s *StageSweep, run *RunResult) {
+			assign(s, stageResult(l, n, run))
+		})
+		return nil
+	}
+	if err := add(accel.OnChip, 1, func(s *StageSweep, r *StageResult) { s.OnChip = r }); err != nil {
+		return nil, nil, err
+	}
+	for _, n := range SweepCounts() {
+		n := n
+		if err := add(accel.NearMemory, n, func(s *StageSweep, r *StageResult) { s.NearMem[n] = r }); err != nil {
+			return nil, nil, err
+		}
+		if err := add(accel.NearStorage, n, func(s *StageSweep, r *StageResult) { s.NearStor[n] = r }); err != nil {
+			return nil, nil, err
+		}
+	}
+	return specs, place, nil
+}
+
+// RunStageSweep produces the data behind one of Figs. 9-11, running the
+// eleven isolated-stage simulations in parallel.
+func RunStageSweep(stage string, m workload.Model, opts ...Option) (*StageSweep, error) {
+	specs, place, err := stageSweepSpecs(stage, m)
+	if err != nil {
+		return nil, err
+	}
+	runs, err := RunSpecs(specs, opts...)
+	if err != nil {
+		return nil, err
+	}
 	sweep := &StageSweep{
 		Stage:    stage,
 		Counts:   SweepCounts(),
 		NearMem:  make(map[int]*StageResult),
 		NearStor: make(map[int]*StageResult),
 	}
-	onchip, err := RunStage(stage, accel.OnChip, 1, m)
-	if err != nil {
-		return nil, err
-	}
-	sweep.OnChip = onchip
-	for _, n := range sweep.Counts {
-		nm, err := RunStage(stage, accel.NearMemory, n, m)
-		if err != nil {
-			return nil, err
-		}
-		sweep.NearMem[n] = nm
-		ns, err := RunStage(stage, accel.NearStorage, n, m)
-		if err != nil {
-			return nil, err
-		}
-		sweep.NearStor[n] = ns
+	for i, run := range runs {
+		place[i](sweep, run)
 	}
 	return sweep, nil
 }
@@ -152,10 +195,16 @@ func (s *StageSweep) Table(figure string) *report.Table {
 }
 
 // Fig9 reproduces the feature-extraction sweep.
-func Fig9(m workload.Model) (*StageSweep, error) { return RunStageSweep(StageFE, m) }
+func Fig9(m workload.Model, opts ...Option) (*StageSweep, error) {
+	return RunStageSweep(StageFE, m, opts...)
+}
 
 // Fig10 reproduces the shortlist-retrieval sweep.
-func Fig10(m workload.Model) (*StageSweep, error) { return RunStageSweep(StageSL, m) }
+func Fig10(m workload.Model, opts ...Option) (*StageSweep, error) {
+	return RunStageSweep(StageSL, m, opts...)
+}
 
 // Fig11 reproduces the rerank sweep.
-func Fig11(m workload.Model) (*StageSweep, error) { return RunStageSweep(StageRR, m) }
+func Fig11(m workload.Model, opts ...Option) (*StageSweep, error) {
+	return RunStageSweep(StageRR, m, opts...)
+}

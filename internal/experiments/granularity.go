@@ -30,42 +30,55 @@ type GranularityResult struct {
 	Cells []*GranularityCell
 }
 
+// granularityTaskCounts is the sweep's decomposition axis.
+func granularityTaskCounts() []int { return []int{4, 16, 64, 256} }
+
+// granularityBatches measures steady state; per-task GAM overheads are what
+// fine granularity amplifies.
+const granularityBatches = 6
+
+// granularitySpecs is the run matrix: the ReACH pipeline with each
+// near-data stage decomposed into 4…256 tasks.
+func granularitySpecs(m workload.Model) []RunSpec {
+	counts := granularityTaskCounts()
+	specs := make([]RunSpec, len(counts))
+	for i, tasks := range counts {
+		tasks := tasks
+		specs[i] = RunSpec{
+			Name:      fmt.Sprintf("granularity %d tasks/stage", tasks),
+			Model:     m,
+			Mapping:   ReACHMapping(),
+			Instances: 4,
+			Batches:   granularityBatches,
+			BuildJob: func(sys *core.System, id int) (*core.Job, error) {
+				return buildChunkedJob(sys, id, m, tasks)
+			},
+		}
+	}
+	return specs
+}
+
+// granularityCell reduces one decomposition's run to its row.
+func granularityCell(tasks int, run *RunResult) *GranularityCell {
+	g := run.Sys.GAM().Stats()
+	return &GranularityCell{
+		TasksPerStage: tasks,
+		Throughput:    run.ThroughputBatchesPerSec(),
+		Latency:       run.Latency,
+		ControlPlane:  g.CommandPackets + g.StatusPolls,
+	}
+}
+
 // AblationGranularity runs the sweep on the ReACH mapping with 4 instances
 // per near-data level.
-func AblationGranularity(m workload.Model) (*GranularityResult, error) {
+func AblationGranularity(m workload.Model, opts ...Option) (*GranularityResult, error) {
+	runs, err := RunSpecs(granularitySpecs(m), opts...)
+	if err != nil {
+		return nil, err
+	}
 	res := &GranularityResult{}
-	for _, tasks := range []int{4, 16, 64, 256} {
-		sys, err := core.NewSystem(configFor(ReACHMapping(), 4))
-		if err != nil {
-			return nil, err
-		}
-		// Per-task GAM overheads are what fine granularity amplifies.
-		const batches = 6
-		var jobs []*core.Job
-		for b := 0; b < batches; b++ {
-			j, err := buildChunkedJob(sys, b, m, tasks)
-			if err != nil {
-				return nil, err
-			}
-			if err := sys.GAM().Submit(j); err != nil {
-				return nil, err
-			}
-			jobs = append(jobs, j)
-		}
-		sys.Run()
-		for _, j := range jobs {
-			if !j.Done() {
-				return nil, fmt.Errorf("experiments: job %d incomplete at %d tasks/stage", j.ID, tasks)
-			}
-		}
-		makespan := jobs[batches-1].FinishedAt - jobs[0].SubmittedAt
-		g := sys.GAM().Stats()
-		res.Cells = append(res.Cells, &GranularityCell{
-			TasksPerStage: tasks,
-			Throughput:    float64(batches) / makespan.Seconds(),
-			Latency:       jobs[0].Latency(),
-			ControlPlane:  g.CommandPackets + g.StatusPolls,
-		})
+	for i, tasks := range granularityTaskCounts() {
+		res.Cells = append(res.Cells, granularityCell(tasks, runs[i]))
 	}
 	return res, nil
 }

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"repro/internal/accel"
-	"repro/internal/core"
 	"repro/internal/report"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -27,44 +26,48 @@ type LoadSweepResult struct {
 	Points []*LoadPoint
 }
 
+// loadSweepSpecs is the run matrix: one open-loop run per offered rate,
+// arrivals scheduled at a fixed interval via SubmitAt.
+func loadSweepSpecs(m workload.Model, mp Mapping, n int, rates []float64, batches int) []RunSpec {
+	specs := make([]RunSpec, len(rates))
+	for i, rate := range rates {
+		interval := sim.FromSeconds(1 / rate)
+		specs[i] = RunSpec{
+			Name:      fmt.Sprintf("loadsweep %.2f b/s", rate),
+			Model:     m,
+			Mapping:   mp,
+			Instances: n,
+			Batches:   batches,
+			SubmitAt:  func(id int) sim.Time { return sim.Time(id) * interval },
+		}
+	}
+	return specs
+}
+
+// loadPoint reduces one rate's run to its latency statistics.
+func loadPoint(rate float64, run *RunResult) *LoadPoint {
+	hist := sim.NewHistogram()
+	for _, j := range run.Jobs {
+		hist.Add(j.Latency())
+	}
+	return &LoadPoint{
+		OfferedBatchesPerSec: rate,
+		MeanLatency:          hist.Mean(),
+		P99Latency:           hist.Quantile(0.99),
+		Completed:            hist.Count(),
+	}
+}
+
 // LoadSweep submits `batches` jobs at a fixed arrival interval and
 // records completion latencies for each offered rate.
-func LoadSweep(m workload.Model, mp Mapping, n int, rates []float64, batches int) (*LoadSweepResult, error) {
+func LoadSweep(m workload.Model, mp Mapping, n int, rates []float64, batches int, opts ...Option) (*LoadSweepResult, error) {
+	runs, err := RunSpecs(loadSweepSpecs(m, mp, n, rates, batches), opts...)
+	if err != nil {
+		return nil, err
+	}
 	res := &LoadSweepResult{}
-	for _, rate := range rates {
-		sys, err := core.NewSystem(configFor(mp, n))
-		if err != nil {
-			return nil, err
-		}
-		interval := sim.FromSeconds(1 / rate)
-		var jobs []*core.Job
-		for b := 0; b < batches; b++ {
-			j, err := BuildPipelineJob(sys, b, m, mp)
-			if err != nil {
-				return nil, err
-			}
-			jobs = append(jobs, j)
-			job := j
-			sys.Engine().At(sim.Time(b)*interval, func() {
-				if err := sys.GAM().Submit(job); err != nil {
-					panic(err)
-				}
-			})
-		}
-		sys.Run()
-		hist := sim.NewHistogram()
-		for _, j := range jobs {
-			if !j.Done() {
-				return nil, fmt.Errorf("experiments: job %d incomplete at rate %.2f", j.ID, rate)
-			}
-			hist.Add(j.Latency())
-		}
-		res.Points = append(res.Points, &LoadPoint{
-			OfferedBatchesPerSec: rate,
-			MeanLatency:          hist.Mean(),
-			P99Latency:           hist.Quantile(0.99),
-			Completed:            hist.Count(),
-		})
+	for i, rate := range rates {
+		res.Points = append(res.Points, loadPoint(rate, runs[i]))
 	}
 	return res, nil
 }
@@ -77,13 +80,13 @@ func DefaultLoadRates() []float64 {
 
 // LoadSweepBoth runs the sweep for the on-chip baseline and the ReACH
 // mapping.
-func LoadSweepBoth(m workload.Model) (onchip, reach *LoadSweepResult, err error) {
-	onchip, err = LoadSweep(m, SingleLevel(accel.OnChip), 1, DefaultLoadRates(), 24)
+func LoadSweepBoth(m workload.Model, opts ...Option) (onchip, reach *LoadSweepResult, err error) {
+	onchip, err = LoadSweep(m, SingleLevel(accel.OnChip), 1, DefaultLoadRates(), 24, opts...)
 	if err != nil {
 		return nil, nil, err
 	}
 	onchip.Option = "onchip"
-	reach, err = LoadSweep(m, ReACHMapping(), 4, DefaultLoadRates(), 24)
+	reach, err = LoadSweep(m, ReACHMapping(), 4, DefaultLoadRates(), 24, opts...)
 	if err != nil {
 		return nil, nil, err
 	}

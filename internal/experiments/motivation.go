@@ -27,8 +27,10 @@ type MotivationResult struct {
 
 // Motivation runs the functional comparison on a scaled dataset: the exact
 // IVF pipeline versus IVF-PQ at two code rates, all at matched probe and
-// candidate counts.
-func Motivation() (*MotivationResult, error) {
+// candidate counts. The four index builds are independent (the dataset and
+// queries are only read), so they run in parallel; Rows keeps the fixed
+// order exact, PQ 8B, PQ 4B, binary.
+func Motivation(opts ...Option) (*MotivationResult, error) {
 	ds := workload.Synthetic(workload.SyntheticParams{
 		N: 8192, D: 32, Clusters: 32, Spread: 0.12, Seed: 2020,
 	})
@@ -36,63 +38,76 @@ func Motivation() (*MotivationResult, error) {
 	params := cbir.SearchParams{Probes: 10, Candidates: 2560, K: 10}
 	vecBytes := int64(ds.D()) * 4
 
-	res := &MotivationResult{}
-
-	exact, err := cbir.BuildIndex(ds.Vectors, 32, 20, 11)
-	if err != nil {
-		return nil, err
-	}
-	exactRecall, err := exact.RecallAtK(queries, params)
-	if err != nil {
-		return nil, err
-	}
-	res.Rows = append(res.Rows, MotivationRow{
-		Name:             "IVF + exact rerank (ReACH design point)",
-		CompressionRatio: 1,
-		BytesVisited:     int64(params.Candidates) * vecBytes,
-		Recall:           exactRecall,
-	})
-
-	// Binary codes (64-bit SimHash): the most aggressive compression.
-	bin, err := cbir.BuildBinaryIndex(ds.Vectors, 32, 20, 11, 64)
-	if err != nil {
-		return nil, err
-	}
-	binRecall, err := bin.RecallAtK(queries, params)
-	if err != nil {
-		return nil, err
-	}
-	binRow := MotivationRow{
-		Name:             "IVF + binary codes (64-bit SimHash)",
-		CompressionRatio: bin.Encoder().CompressionRatio(),
-		BytesVisited:     int64(params.Candidates) * bin.Encoder().CodeBytes(),
-		Recall:           binRecall,
-	}
-
-	for _, pqCfg := range []struct {
-		name string
-		p    cbir.PQParams
-	}{
-		{"IVF-PQ, 8B codes", cbir.PQParams{Subspaces: 8, CentroidsPerSub: 256, KMeansIters: 12, Seed: 12}},
-		{"IVF-PQ, 4B codes", cbir.PQParams{Subspaces: 4, CentroidsPerSub: 256, KMeansIters: 12, Seed: 13}},
-	} {
-		ix, err := cbir.BuildPQIndex(ds.Vectors, 32, 20, 11, pqCfg.p)
+	pqRow := func(name string, p cbir.PQParams) (MotivationRow, error) {
+		ix, err := cbir.BuildPQIndex(ds.Vectors, 32, 20, 11, p)
 		if err != nil {
-			return nil, err
+			return MotivationRow{}, err
 		}
 		recall, err := ix.RecallAtK(queries, params)
 		if err != nil {
-			return nil, err
+			return MotivationRow{}, err
 		}
-		res.Rows = append(res.Rows, MotivationRow{
-			Name:             pqCfg.name,
+		return MotivationRow{
+			Name:             name,
 			CompressionRatio: ix.PQ().CompressionRatio(),
 			BytesVisited:     int64(params.Candidates) * ix.PQ().CodeBytes(),
 			Recall:           recall,
-		})
+		}, nil
 	}
-	res.Rows = append(res.Rows, binRow)
-	return res, nil
+	builders := []motivationBuilder{
+		{"motivation exact", func() (MotivationRow, error) {
+			ix, err := cbir.BuildIndex(ds.Vectors, 32, 20, 11)
+			if err != nil {
+				return MotivationRow{}, err
+			}
+			recall, err := ix.RecallAtK(queries, params)
+			if err != nil {
+				return MotivationRow{}, err
+			}
+			return MotivationRow{
+				Name:             "IVF + exact rerank (ReACH design point)",
+				CompressionRatio: 1,
+				BytesVisited:     int64(params.Candidates) * vecBytes,
+				Recall:           recall,
+			}, nil
+		}},
+		{"motivation pq8", func() (MotivationRow, error) {
+			return pqRow("IVF-PQ, 8B codes", cbir.PQParams{Subspaces: 8, CentroidsPerSub: 256, KMeansIters: 12, Seed: 12})
+		}},
+		{"motivation pq4", func() (MotivationRow, error) {
+			return pqRow("IVF-PQ, 4B codes", cbir.PQParams{Subspaces: 4, CentroidsPerSub: 256, KMeansIters: 12, Seed: 13})
+		}},
+		{"motivation binary", func() (MotivationRow, error) {
+			// Binary codes (64-bit SimHash): the most aggressive compression.
+			ix, err := cbir.BuildBinaryIndex(ds.Vectors, 32, 20, 11, 64)
+			if err != nil {
+				return MotivationRow{}, err
+			}
+			recall, err := ix.RecallAtK(queries, params)
+			if err != nil {
+				return MotivationRow{}, err
+			}
+			return MotivationRow{
+				Name:             "IVF + binary codes (64-bit SimHash)",
+				CompressionRatio: ix.Encoder().CompressionRatio(),
+				BytesVisited:     int64(params.Candidates) * ix.Encoder().CodeBytes(),
+				Recall:           recall,
+			}, nil
+		}},
+	}
+	rows, err := mapRuns(buildOptions(opts), builders,
+		func(i int) string { return builders[i].name },
+		func(b motivationBuilder) (MotivationRow, error) { return b.build() })
+	if err != nil {
+		return nil, err
+	}
+	return &MotivationResult{Rows: rows}, nil
+}
+
+// motivationBuilder is one independently-buildable row of the comparison.
+type motivationBuilder struct {
+	name  string
+	build func() (MotivationRow, error)
 }
 
 // ExactRecall returns the full-precision row's recall.

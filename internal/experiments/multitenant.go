@@ -40,39 +40,67 @@ const (
 	mtScanBytes = int64(24e9) // 24 GB of logs scanned per job, striped over 4 SSDs
 )
 
-// MultiTenant runs the three configurations (CBIR alone, scan alone, both).
-func MultiTenant(m workload.Model) (*MultiTenantResult, error) {
-	res := &MultiTenantResult{}
-
-	cbirAlone, err := RunPipeline(m, ReACHMapping(), 4, mtBatches)
+// buildScanJob builds one bulk tenant job: a log scan striped over the 4
+// SSDs. Scans are chunked (16 tasks per device per job) per the §II-D
+// granularity rule: small enough that the GAM can slot the
+// latency-sensitive tenant's tasks between chunks, large enough to
+// amortise per-task overhead.
+func buildScanJob(sys *core.System, id int) (*core.Job, error) {
+	knn, err := sys.Registry().Lookup("KNN-ZCU9")
 	if err != nil {
 		return nil, err
 	}
-	res.CBIRAloneTput = cbirAlone.ThroughputBatchesPerSec()
-	res.CBIRAloneLat = cbirAlone.Latency
-
-	scanAlone, err := runTenants(m, false, true, 0)
-	if err != nil {
-		return nil, err
+	const chunks = 16
+	j := core.NewJob(id)
+	for i := 0; i < 4; i++ {
+		for c := 0; c < chunks; c++ {
+			n := j.AddTask(accel.Task{
+				Name: fmt.Sprintf("scan%d.%d", i, c), Stage: StageScan, Kernel: knn,
+				MACs:   float64(mtScanBytes) / 64 / 4 / chunks,
+				Bytes:  mtScanBytes / 4 / chunks,
+				Source: accel.SourceSSD, Pattern: storage.Sequential,
+			}, accel.NearStorage)
+			n.Pin = i
+			n.OutBytes = 1 << 16
+			n.SinkToHost = true
+		}
 	}
-	res.ScanAloneSec = scanAlone.scanSpan.Seconds()
+	return j, nil
+}
 
-	both, err := runTenants(m, true, true, 0)
-	if err != nil {
-		return nil, err
+// tenantsSpec declares one shared-hierarchy run. The bulk tenant's
+// mtScanJobs jobs take ids 0..mtScanJobs-1 and are submitted first (batch
+// analytics already running when interactive queries arrive) — without
+// priorities the GAM's oldest-job-first ordering favours them. The CBIR
+// jobs follow with the given priority.
+func tenantsSpec(name string, m workload.Model, cbir, scan bool, cbirPriority int) RunSpec {
+	batches := 0
+	scanJobs := 0
+	if scan {
+		scanJobs = mtScanJobs
+		batches += mtScanJobs
 	}
-	res.CBIRSharedTput = float64(mtBatches) / both.cbirSpan.Seconds()
-	res.CBIRSharedLat = both.cbirFirstLatency
-	res.ScanSharedSec = both.scanSpan.Seconds()
-
-	prio, err := runTenants(m, true, true, 10)
-	if err != nil {
-		return nil, err
+	if cbir {
+		batches += mtBatches
 	}
-	res.CBIRPrioTput = float64(mtBatches) / prio.cbirSpan.Seconds()
-	res.CBIRPrioLat = prio.cbirFirstLatency
-	res.ScanPrioSec = prio.scanSpan.Seconds()
-	return res, nil
+	return RunSpec{
+		Name:      name,
+		Model:     m,
+		Mapping:   ReACHMapping(),
+		Instances: 4,
+		Batches:   batches,
+		BuildJob: func(sys *core.System, id int) (*core.Job, error) {
+			if id < scanJobs {
+				return buildScanJob(sys, id)
+			}
+			j, err := BuildPipelineJob(sys, id, m, ReACHMapping())
+			if err != nil {
+				return nil, err
+			}
+			j.Priority = cbirPriority
+			return j, nil
+		},
+	}
 }
 
 type tenantRun struct {
@@ -81,68 +109,16 @@ type tenantRun struct {
 	scanSpan         sim.Time
 }
 
-func runTenants(m workload.Model, cbir, scan bool, cbirPriority int) (*tenantRun, error) {
-	sys, err := core.NewSystem(configFor(ReACHMapping(), 4))
-	if err != nil {
-		return nil, err
-	}
-	knn, err := sys.Registry().Lookup("KNN-ZCU9")
-	if err != nil {
-		return nil, err
-	}
-	var cbirJobs, scanJobs []*core.Job
-	nextID := 0
-	// The bulk tenant's jobs are queued first (batch analytics already
-	// running when interactive queries arrive) — without priorities the
-	// GAM's oldest-job-first ordering favours them.
-	if scan {
-		// Scans are chunked (16 tasks per device per job) per the §II-D
-		// granularity rule: small enough that the GAM can slot the
-		// latency-sensitive tenant's tasks between chunks, large enough
-		// to amortise per-task overhead.
-		const chunks = 16
-		for s := 0; s < mtScanJobs; s++ {
-			j := core.NewJob(nextID)
-			nextID++
-			for i := 0; i < 4; i++ {
-				for c := 0; c < chunks; c++ {
-					n := j.AddTask(accel.Task{
-						Name: fmt.Sprintf("scan%d.%d", i, c), Stage: StageScan, Kernel: knn,
-						MACs:   float64(mtScanBytes) / 64 / 4 / chunks,
-						Bytes:  mtScanBytes / 4 / chunks,
-						Source: accel.SourceSSD, Pattern: storage.Sequential,
-					}, accel.NearStorage)
-					n.Pin = i
-					n.OutBytes = 1 << 16
-					n.SinkToHost = true
-				}
-			}
-			if err := sys.GAM().Submit(j); err != nil {
-				return nil, err
-			}
-			scanJobs = append(scanJobs, j)
-		}
-	}
-	if cbir {
-		for b := 0; b < mtBatches; b++ {
-			j, err := BuildPipelineJob(sys, nextID, m, ReACHMapping())
-			if err != nil {
-				return nil, err
-			}
-			j.Priority = cbirPriority
-			nextID++
-			if err := sys.GAM().Submit(j); err != nil {
-				return nil, err
-			}
-			cbirJobs = append(cbirJobs, j)
-		}
-	}
-	sys.Run()
+// tenantSpans reduces a shared run to per-tenant makespans, splitting the
+// jobs by id (scan jobs first).
+func tenantSpans(run *RunResult, cbir, scan bool) *tenantRun {
 	out := &tenantRun{}
-	for _, j := range append(append([]*core.Job{}, cbirJobs...), scanJobs...) {
-		if !j.Done() {
-			return nil, fmt.Errorf("experiments: tenant job %d incomplete", j.ID)
-		}
+	scanJobs := run.Jobs
+	var cbirJobs []*core.Job
+	if scan && cbir {
+		scanJobs, cbirJobs = run.Jobs[:mtScanJobs], run.Jobs[mtScanJobs:]
+	} else if cbir {
+		scanJobs, cbirJobs = nil, run.Jobs
 	}
 	if cbir {
 		out.cbirSpan = cbirJobs[len(cbirJobs)-1].FinishedAt - cbirJobs[0].SubmittedAt
@@ -151,7 +127,45 @@ func runTenants(m workload.Model, cbir, scan bool, cbirPriority int) (*tenantRun
 	if scan {
 		out.scanSpan = scanJobs[len(scanJobs)-1].FinishedAt - scanJobs[0].SubmittedAt
 	}
-	return out, nil
+	return out
+}
+
+// multiTenantSpecs is the run matrix: CBIR alone, scan alone, both tenants
+// sharing, and both with CBIR prioritised.
+func multiTenantSpecs(m workload.Model) []RunSpec {
+	return []RunSpec{
+		PipelineSpec("multitenant cbir-alone", m, ReACHMapping(), 4, mtBatches),
+		tenantsSpec("multitenant scan-alone", m, false, true, 0),
+		tenantsSpec("multitenant shared", m, true, true, 0),
+		tenantsSpec("multitenant shared-prio", m, true, true, 10),
+	}
+}
+
+// MultiTenant runs the three configurations (CBIR alone, scan alone, both).
+func MultiTenant(m workload.Model, opts ...Option) (*MultiTenantResult, error) {
+	runs, err := RunSpecs(multiTenantSpecs(m), opts...)
+	if err != nil {
+		return nil, err
+	}
+	res := &MultiTenantResult{}
+
+	cbirAlone := runs[0]
+	res.CBIRAloneTput = cbirAlone.ThroughputBatchesPerSec()
+	res.CBIRAloneLat = cbirAlone.Latency
+
+	scanAlone := tenantSpans(runs[1], false, true)
+	res.ScanAloneSec = scanAlone.scanSpan.Seconds()
+
+	both := tenantSpans(runs[2], true, true)
+	res.CBIRSharedTput = float64(mtBatches) / both.cbirSpan.Seconds()
+	res.CBIRSharedLat = both.cbirFirstLatency
+	res.ScanSharedSec = both.scanSpan.Seconds()
+
+	prio := tenantSpans(runs[3], true, true)
+	res.CBIRPrioTput = float64(mtBatches) / prio.cbirSpan.Seconds()
+	res.CBIRPrioLat = prio.cbirFirstLatency
+	res.ScanPrioSec = prio.scanSpan.Seconds()
+	return res, nil
 }
 
 // CBIRSlowdown reports shared/alone throughput degradation.

@@ -25,7 +25,7 @@ type RecallSweepResult struct {
 
 // RecallSweep runs the functional-layer sweep and attaches the modelled
 // full-scale rerank bytes each setting implies.
-func RecallSweep(m workload.Model) (*RecallSweepResult, error) {
+func RecallSweep(m workload.Model, opts ...Option) (*RecallSweepResult, error) {
 	// Over-clustering (256 cells over 64 natural clusters) splits each
 	// natural neighbourhood across several cells — the regime where the
 	// probe count genuinely controls recall.
@@ -43,23 +43,30 @@ func RecallSweep(m workload.Model) (*RecallSweepResult, error) {
 	// subtlety the tests pin down).
 	queries := ds.Queries(16, 0.15, 4321)
 
-	res := &RecallSweepResult{}
-	for _, probes := range []int{1, 2, 4, 8, 16, 32} {
-		recall, err := ix.RecallAtK(queries, cbir.SearchParams{
-			Probes: probes, Candidates: 1 << 20, K: m.TopK,
+	probeCounts := []int{1, 2, 4, 8, 16, 32}
+	// The index is built once and only read by the probe evaluations, so
+	// the sweep points can run in parallel against it.
+	points, err := mapRuns(buildOptions(opts), probeCounts,
+		func(i int) string { return fmt.Sprintf("recall probes=%d", probeCounts[i]) },
+		func(probes int) (*RecallPoint, error) {
+			recall, err := ix.RecallAtK(queries, cbir.SearchParams{
+				Probes: probes, Candidates: 1 << 20, K: m.TopK,
+			})
+			if err != nil {
+				return nil, err
+			}
+			scaled := m
+			scaled.Probes = probes
+			return &RecallPoint{
+				Probes:       probes,
+				Recall:       recall,
+				BytesScanned: scaled.RerankScanBytesPerQuery(),
+			}, nil
 		})
-		if err != nil {
-			return nil, err
-		}
-		scaled := m
-		scaled.Probes = probes
-		res.Points = append(res.Points, &RecallPoint{
-			Probes:       probes,
-			Recall:       recall,
-			BytesScanned: scaled.RerankScanBytesPerQuery(),
-		})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &RecallSweepResult{Points: points}, nil
 }
 
 // Table renders the curve.

@@ -30,20 +30,71 @@ type ReverseLookupResult struct {
 	WithRLLatency    sim.Time
 }
 
+// reverseLookupSpecs is the run matrix: the paper's three-stage pipeline,
+// then the same pipeline with the reverse-lookup stage chained behind the
+// rerank nodes.
+func reverseLookupSpecs(m workload.Model, imageBytes int64, batches int) []RunSpec {
+	base := PipelineSpec("reverselookup base", m, ReACHMapping(), 4, batches)
+	base.Background = BackgroundNone
+	with := RunSpec{
+		Name:      "reverselookup with-rl",
+		Model:     m,
+		Mapping:   ReACHMapping(),
+		Instances: 4,
+		Batches:   batches,
+		BuildJob: func(sys *core.System, id int) (*core.Job, error) {
+			return buildReverseLookupJob(sys, id, m, imageBytes)
+		},
+	}
+	return []RunSpec{base, with}
+}
+
+// buildReverseLookupJob is BuildPipelineJob with a fourth stage: the RR
+// nodes no longer sink to the host; instead the reverse lookup gathers the
+// top-K images (page-granular) from the image store striped over the SSDs,
+// then returns the images to the host.
+func buildReverseLookupJob(sys *core.System, id int, m workload.Model, imageBytes int64) (*core.Job, error) {
+	knn, err := sys.Registry().Lookup("KNN-ZCU9")
+	if err != nil {
+		return nil, err
+	}
+	j, err := BuildPipelineJob(sys, id, m, ReACHMapping())
+	if err != nil {
+		return nil, err
+	}
+	var rrNodes []*core.TaskNode
+	for _, n := range j.Nodes {
+		if n.Spec.Stage == StageRR {
+			n.SinkToHost = false
+			rrNodes = append(rrNodes, n)
+		}
+	}
+	perInstance := int64(m.TopK) * imageBytes * int64(m.BatchSize) / 4
+	for i := 0; i < 4; i++ {
+		rl := j.AddTask(accel.Task{
+			Name: fmt.Sprintf("rl%d", i), Stage: StageRL, Kernel: knn,
+			MACs:   1, // database access: negligible compute (Table I "very low")
+			Bytes:  perInstance,
+			Source: accel.SourceSSD, Pattern: storage.RandomPages,
+		}, accel.NearStorage, rrNodes...)
+		rl.Pin = i
+		rl.OutBytes = perInstance // the images themselves go to the host
+		rl.SinkToHost = true
+	}
+	return j, nil
+}
+
 // ReverseLookup runs the comparison. Images average 200 KB (the paper's
 // 200 TB bound for a billion images).
-func ReverseLookup(m workload.Model) (*ReverseLookupResult, error) {
+func ReverseLookup(m workload.Model, opts ...Option) (*ReverseLookupResult, error) {
 	const imageBytes = 200 << 10
 	fetch := int64(m.TopK) * imageBytes * int64(m.BatchSize)
 
-	base, err := RunPipeline(m, ReACHMapping(), 4, 6)
+	runs, err := RunSpecs(reverseLookupSpecs(m, imageBytes, 6), opts...)
 	if err != nil {
 		return nil, err
 	}
-	with, err := runWithReverseLookup(m, imageBytes, 6)
-	if err != nil {
-		return nil, err
-	}
+	base, with := runs[0], runs[1]
 	return &ReverseLookupResult{
 		ImageBytes:       imageBytes,
 		FetchPerBatch:    fetch,
@@ -52,60 +103,6 @@ func ReverseLookup(m workload.Model) (*ReverseLookupResult, error) {
 		BaseLatency:      base.Latency,
 		WithRLLatency:    with.Latency,
 	}, nil
-}
-
-func runWithReverseLookup(m workload.Model, imageBytes int64, batches int) (*RunResult, error) {
-	sys, err := core.NewSystem(configFor(ReACHMapping(), 4))
-	if err != nil {
-		return nil, err
-	}
-	knn, err := sys.Registry().Lookup("KNN-ZCU9")
-	if err != nil {
-		return nil, err
-	}
-	res := &RunResult{Sys: sys, Batches: batches, StageSpan: map[string]sim.Time{}}
-	for b := 0; b < batches; b++ {
-		j, err := BuildPipelineJob(sys, b, m, ReACHMapping())
-		if err != nil {
-			return nil, err
-		}
-		// The RR nodes currently sink to the host; instead, chain the
-		// reverse lookup behind them: gather top-K images (page-granular)
-		// from the image store striped over the SSDs, then return images
-		// to the host.
-		var rrNodes []*core.TaskNode
-		for _, n := range j.Nodes {
-			if n.Spec.Stage == StageRR {
-				n.SinkToHost = false
-				rrNodes = append(rrNodes, n)
-			}
-		}
-		perInstance := int64(m.TopK) * imageBytes * int64(m.BatchSize) / 4
-		for i := 0; i < 4; i++ {
-			rl := j.AddTask(accel.Task{
-				Name: fmt.Sprintf("rl%d", i), Stage: StageRL, Kernel: knn,
-				MACs:   1, // database access: negligible compute (Table I "very low")
-				Bytes:  perInstance,
-				Source: accel.SourceSSD, Pattern: storage.RandomPages,
-			}, accel.NearStorage, rrNodes...)
-			rl.Pin = i
-			rl.OutBytes = perInstance // the images themselves go to the host
-			rl.SinkToHost = true
-		}
-		if err := sys.GAM().Submit(j); err != nil {
-			return nil, err
-		}
-		res.Jobs = append(res.Jobs, j)
-	}
-	sys.Run()
-	for _, j := range res.Jobs {
-		if !j.Done() {
-			return nil, fmt.Errorf("experiments: reverse-lookup job %d incomplete", j.ID)
-		}
-	}
-	res.Latency = res.Jobs[0].Latency()
-	res.Makespan = res.Jobs[batches-1].FinishedAt - res.Jobs[0].SubmittedAt
-	return res, nil
 }
 
 // ThroughputCost reports the fractional throughput lost to the stage.

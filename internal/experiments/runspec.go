@@ -1,0 +1,258 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/runner"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// RunSpec declares one independent simulation run: which system to build,
+// which workload and mapping to run on it, how many batch jobs to submit,
+// and how to attribute background energy afterwards. Every experiment in
+// this package is a slice of RunSpecs plus a pure reducer over the
+// resulting []*RunResult; RunSpecs executes the slice on the shared
+// parallel runner. Each run owns its own core.System and event engine, so
+// runs are independent and the results are byte-for-byte identical
+// whatever the worker count.
+type RunSpec struct {
+	// Name labels the run in progress reports and errors.
+	Name string
+	// Model is the CBIR workload model; it is validated before the run.
+	Model workload.Model
+	// Mapping assigns pipeline stages to compute levels. Used by the
+	// default job builder and, with Instances, by the default config.
+	Mapping Mapping
+	// Instances is the near-data population per used level for the
+	// default config (configFor semantics).
+	Instances int
+	// Batches is the number of jobs submitted (ids 0..Batches-1).
+	Batches int
+
+	// Config, when non-nil, replaces the default configFor(Mapping,
+	// Instances) system config.
+	Config *config.SystemConfig
+	// Mutate, when non-nil, adjusts the config before the system is
+	// built — how the ablations vary GAM parameters per run.
+	Mutate func(*config.SystemConfig)
+	// Setup, when non-nil, runs after the system is built and before any
+	// job is submitted (e.g. to tweak accelerator instances).
+	Setup func(sys *core.System) error
+	// BuildJob, when non-nil, replaces the default pipeline job builder
+	// (BuildPipelineJob with Mapping) — how the granularity, skew,
+	// reverse-lookup and multi-tenant experiments shape their jobs.
+	BuildJob func(sys *core.System, id int) (*core.Job, error)
+	// SubmitAt, when non-nil, schedules job id's submission at the
+	// returned simulated time instead of submitting everything at t=0 —
+	// the open-loop arrival processes of the load sweep.
+	SubmitAt func(id int) sim.Time
+	// Background selects the post-run background-energy attribution.
+	// The zero value charges nothing.
+	Background BackgroundMode
+	// BackgroundLabel is the stage label for BackgroundFirstLatency.
+	BackgroundLabel string
+}
+
+// BackgroundMode is a RunSpec's background-energy attribution policy,
+// applied once after the simulation drains.
+type BackgroundMode int
+
+const (
+	// BackgroundNone charges no background energy (experiments that only
+	// report runtime/throughput).
+	BackgroundNone BackgroundMode = iota
+	// BackgroundStageSpan charges background power over the makespan,
+	// split across stages in proportion to the first job's per-stage
+	// busy spans (the end-to-end pipeline experiments).
+	BackgroundStageSpan
+	// BackgroundMakespanRR charges the whole makespan to the rerank
+	// stage (the GAM ablation's convention).
+	BackgroundMakespanRR
+	// BackgroundFirstLatency charges the first job's latency to
+	// BackgroundLabel (the isolated single-stage runs of Figs. 9-11).
+	BackgroundFirstLatency
+)
+
+// Run executes the spec to completion and returns its result. It is the
+// single-run core under RunPipeline, RunStage and every sweep.
+func (s RunSpec) Run() (*RunResult, error) {
+	if err := s.Model.Validate(); err != nil {
+		return nil, err
+	}
+	if s.Batches <= 0 {
+		return nil, fmt.Errorf("experiments: run %q needs at least one batch", s.Name)
+	}
+	cfg := configFor(s.Mapping, s.Instances)
+	if s.Config != nil {
+		cfg = *s.Config
+	}
+	if s.Mutate != nil {
+		s.Mutate(&cfg)
+	}
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if s.Setup != nil {
+		if err := s.Setup(sys); err != nil {
+			return nil, err
+		}
+	}
+	build := s.BuildJob
+	if build == nil {
+		build = func(sys *core.System, id int) (*core.Job, error) {
+			return BuildPipelineJob(sys, id, s.Model, s.Mapping)
+		}
+	}
+	res := &RunResult{Sys: sys, Batches: s.Batches, StageSpan: make(map[string]sim.Time)}
+	for b := 0; b < s.Batches; b++ {
+		j, err := build(sys, b)
+		if err != nil {
+			return nil, err
+		}
+		if s.SubmitAt == nil {
+			if err := sys.GAM().Submit(j); err != nil {
+				return nil, err
+			}
+		} else {
+			job := j
+			sys.Engine().At(s.SubmitAt(b), func() {
+				if err := sys.GAM().Submit(job); err != nil {
+					panic(err) // surfaces as a runner PanicError
+				}
+			})
+		}
+		res.Jobs = append(res.Jobs, j)
+	}
+	sys.Run()
+
+	for _, j := range res.Jobs {
+		if !j.Done() {
+			return nil, fmt.Errorf("experiments: %s: job %d did not complete", s.name(), j.ID)
+		}
+	}
+	first, last := res.Jobs[0], res.Jobs[s.Batches-1]
+	res.Latency = first.Latency()
+	res.Makespan = last.FinishedAt - first.SubmittedAt
+
+	// The first batch's per-stage earliest-dispatch to latest-completion
+	// windows, for the figure reducers and the stage-span background
+	// split.
+	type span struct{ lo, hi sim.Time }
+	spans := map[string]*span{}
+	for _, node := range first.Nodes {
+		st := node.Spec.Stage
+		sp, ok := spans[st]
+		if !ok {
+			spans[st] = &span{lo: node.DispatchedAt, hi: node.CompletedAt}
+			continue
+		}
+		if node.DispatchedAt < sp.lo {
+			sp.lo = node.DispatchedAt
+		}
+		if node.CompletedAt > sp.hi {
+			sp.hi = node.CompletedAt
+		}
+	}
+	var totalSpan sim.Time
+	for st, sp := range spans {
+		res.StageSpan[st] = sp.hi - sp.lo
+		totalSpan += sp.hi - sp.lo
+	}
+
+	switch s.Background {
+	case BackgroundStageSpan:
+		// Background power over the makespan, split across stages by
+		// busy share so the Fig. 8 stacking has a home for it.
+		if totalSpan > 0 {
+			for st, sp := range res.StageSpan {
+				frac := float64(sp) / float64(totalSpan)
+				window := sim.Time(float64(res.Makespan) * frac)
+				sys.Background(st, window)
+			}
+		} else {
+			sys.Background(StageRR, res.Makespan)
+		}
+	case BackgroundMakespanRR:
+		sys.Background(StageRR, res.Makespan)
+	case BackgroundFirstLatency:
+		sys.Background(s.BackgroundLabel, res.Latency)
+	}
+	return res, nil
+}
+
+func (s RunSpec) name() string {
+	if s.Name != "" {
+		return s.Name
+	}
+	return "run"
+}
+
+// runOptions collects the execution knobs shared by every experiment
+// entry point.
+type runOptions struct {
+	ctx      context.Context
+	workers  int
+	pool     *runner.Pool
+	progress func(done, total int, name string)
+}
+
+// Option adjusts how an experiment executes its runs (not what it
+// simulates): worker count, shared concurrency pool, cancellation
+// context, progress reporting.
+type Option func(*runOptions)
+
+// WithWorkers bounds the experiment's private worker pool (<= 0 means
+// GOMAXPROCS). Ignored when a shared pool is set.
+func WithWorkers(n int) Option { return func(o *runOptions) { o.workers = n } }
+
+// WithPool runs the experiment's simulations on a concurrency budget
+// shared with other experiments — how `reachsim -exp all -j N` bounds the
+// whole evaluation at N in-flight simulations.
+func WithPool(p *runner.Pool) Option { return func(o *runOptions) { o.pool = p } }
+
+// WithContext attaches a cancellation context to the runs.
+func WithContext(ctx context.Context) Option { return func(o *runOptions) { o.ctx = ctx } }
+
+// WithProgress reports each completed run. The callback is serialised.
+func WithProgress(fn func(done, total int, name string)) Option {
+	return func(o *runOptions) { o.progress = fn }
+}
+
+func buildOptions(opts []Option) runOptions {
+	o := runOptions{ctx: context.Background()}
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return o
+}
+
+func (o runOptions) runnerOptions(name func(i int) string) runner.Options {
+	ro := runner.Options{Workers: o.workers, Pool: o.pool}
+	if o.progress != nil {
+		progress := o.progress
+		ro.Progress = func(e runner.Event) { progress(e.Done, e.Total, name(e.Index)) }
+	}
+	return ro
+}
+
+// RunSpecs executes the specs on the parallel runner and returns their
+// results in spec order, regardless of completion order. The first
+// failing spec cancels the rest.
+func RunSpecs(specs []RunSpec, opts ...Option) ([]*RunResult, error) {
+	o := buildOptions(opts)
+	return runner.Map(o.ctx, o.runnerOptions(func(i int) string { return specs[i].name() }), specs,
+		func(_ context.Context, _ int, s RunSpec) (*RunResult, error) { return s.Run() })
+}
+
+// mapRuns fans an arbitrary per-item function over the runner with the
+// experiment options — for the functional-layer experiments (recall,
+// motivation, buffer ablation) whose unit of work is not a RunSpec.
+func mapRuns[S, R any](o runOptions, items []S, name func(i int) string, fn func(item S) (R, error)) ([]R, error) {
+	return runner.Map(o.ctx, o.runnerOptions(name), items,
+		func(_ context.Context, _ int, item S) (R, error) { return fn(item) })
+}

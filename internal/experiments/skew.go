@@ -30,87 +30,101 @@ type SkewResult struct {
 	Cells []*SkewCell
 }
 
-// SkewExperiment runs the sweep.
-func SkewExperiment(m workload.Model) (*SkewResult, error) {
-	res := &SkewResult{}
+// skewAxes enumerates the sweep's (zipf exponent, placement) grid in row
+// order.
+func skewAxes() (zipfs []float64, placements []workload.Placement) {
+	return []float64{0, 0.8, 1.2},
+		[]workload.Placement{workload.PlaceContiguous, workload.PlaceRoundRobin}
+}
+
+// skewSpecs is the run matrix: the ReACH pipeline once per grid cell, with
+// rerank bytes split per the cell's load shares instead of evenly.
+func skewSpecs(m workload.Model) (specs []RunSpec, loads [][]float64) {
 	const instances = 4
-	for _, s := range []float64{0, 0.8, 1.2} {
-		for _, p := range []workload.Placement{workload.PlaceContiguous, workload.PlaceRoundRobin} {
+	zipfs, placements := skewAxes()
+	for _, s := range zipfs {
+		for _, p := range placements {
 			load := workload.ShardLoad(workload.ZipfWeights(m.Centroids, s), instances, p)
-			run, err := runSkewedPipeline(m, load, 6)
-			if err != nil {
-				return nil, err
-			}
+			loads = append(loads, load)
+			specs = append(specs, RunSpec{
+				Name:      fmt.Sprintf("skew zipf=%.1f %v", s, p),
+				Model:     m,
+				Mapping:   ReACHMapping(),
+				Instances: instances,
+				Batches:   6,
+				BuildJob: func(sys *core.System, id int) (*core.Job, error) {
+					return buildSkewedJob(sys, id, m, load)
+				},
+			})
+		}
+	}
+	return specs, loads
+}
+
+// SkewExperiment runs the sweep.
+func SkewExperiment(m workload.Model, opts ...Option) (*SkewResult, error) {
+	specs, loads := skewSpecs(m)
+	runs, err := RunSpecs(specs, opts...)
+	if err != nil {
+		return nil, err
+	}
+	res := &SkewResult{}
+	zipfs, placements := skewAxes()
+	i := 0
+	for _, s := range zipfs {
+		for _, p := range placements {
 			res.Cells = append(res.Cells, &SkewCell{
 				Zipf:       s,
 				Placement:  p,
-				Imbalance:  workload.ImbalanceFactor(load),
-				Throughput: run.ThroughputBatchesPerSec(),
-				Latency:    run.Latency,
+				Imbalance:  workload.ImbalanceFactor(loads[i]),
+				Throughput: runs[i].ThroughputBatchesPerSec(),
+				Latency:    runs[i].Latency,
 			})
+			i++
 		}
 	}
 	return res, nil
 }
 
-// runSkewedPipeline is RunPipeline with rerank bytes split per the load
+// buildSkewedJob is BuildPipelineJob with rerank bytes split per the load
 // shares instead of evenly.
-func runSkewedPipeline(m workload.Model, shares []float64, batches int) (*RunResult, error) {
-	sys, err := core.NewSystem(configFor(ReACHMapping(), len(shares)))
-	if err != nil {
-		return nil, err
-	}
+func buildSkewedJob(sys *core.System, id int, m workload.Model, shares []float64) (*core.Job, error) {
 	reg := sys.Registry()
 	cnn, _ := reg.Lookup("CNN-VU9P")
 	gemm, _ := reg.Lookup("GEMM-ZCU9")
 	knn, _ := reg.Lookup("KNN-ZCU9")
 
-	res := &RunResult{Sys: sys, Batches: batches, StageSpan: map[string]sim.Time{}}
-	for b := 0; b < batches; b++ {
-		j := core.NewJob(b)
-		fe := j.AddTask(accel.Task{
-			Name: "fe", Stage: StageFE, Kernel: cnn,
-			MACs: m.FeatureMACsPerBatch(), Source: accel.SourceSPM,
-		}, accel.OnChip)
-		fe.OutBytes = m.BatchFeatureBytes()
+	j := core.NewJob(id)
+	fe := j.AddTask(accel.Task{
+		Name: "fe", Stage: StageFE, Kernel: cnn,
+		MACs: m.FeatureMACsPerBatch(), Source: accel.SourceSPM,
+	}, accel.OnChip)
+	fe.OutBytes = m.BatchFeatureBytes()
 
-		var slNodes []*core.TaskNode
-		for i := range shares {
-			n := j.AddTask(accel.Task{
-				Name: fmt.Sprintf("sl%d", i), Stage: StageSL, Kernel: gemm,
-				MACs:   m.ShortlistMACsPerBatch() / float64(len(shares)),
-				Bytes:  m.ShortlistScanBytesPerBatch() / int64(len(shares)),
-				Source: accel.SourceLocalDIMM,
-			}, accel.NearMemory, fe)
-			n.Pin = i
-			n.OutBytes = m.ShortlistResultBytesPerBatch() / int64(len(shares))
-			slNodes = append(slNodes, n)
-		}
-		for i, share := range shares {
-			n := j.AddTask(accel.Task{
-				Name: fmt.Sprintf("rr%d", i), Stage: StageRR, Kernel: knn,
-				MACs:   m.RerankMACsPerBatch() * share,
-				Bytes:  int64(float64(m.RerankScanBytesPerBatch()) * share),
-				Source: accel.SourceSSD, Pattern: storage.RandomPages,
-			}, accel.NearStorage, slNodes...)
-			n.Pin = i
-			n.OutBytes = m.ResultBytesPerBatch() / int64(len(shares))
-			n.SinkToHost = true
-		}
-		if err := sys.GAM().Submit(j); err != nil {
-			return nil, err
-		}
-		res.Jobs = append(res.Jobs, j)
+	var slNodes []*core.TaskNode
+	for i := range shares {
+		n := j.AddTask(accel.Task{
+			Name: fmt.Sprintf("sl%d", i), Stage: StageSL, Kernel: gemm,
+			MACs:   m.ShortlistMACsPerBatch() / float64(len(shares)),
+			Bytes:  m.ShortlistScanBytesPerBatch() / int64(len(shares)),
+			Source: accel.SourceLocalDIMM,
+		}, accel.NearMemory, fe)
+		n.Pin = i
+		n.OutBytes = m.ShortlistResultBytesPerBatch() / int64(len(shares))
+		slNodes = append(slNodes, n)
 	}
-	sys.Run()
-	for _, j := range res.Jobs {
-		if !j.Done() {
-			return nil, fmt.Errorf("experiments: skew job %d incomplete", j.ID)
-		}
+	for i, share := range shares {
+		n := j.AddTask(accel.Task{
+			Name: fmt.Sprintf("rr%d", i), Stage: StageRR, Kernel: knn,
+			MACs:   m.RerankMACsPerBatch() * share,
+			Bytes:  int64(float64(m.RerankScanBytesPerBatch()) * share),
+			Source: accel.SourceSSD, Pattern: storage.RandomPages,
+		}, accel.NearStorage, slNodes...)
+		n.Pin = i
+		n.OutBytes = m.ResultBytesPerBatch() / int64(len(shares))
+		n.SinkToHost = true
 	}
-	res.Latency = res.Jobs[0].Latency()
-	res.Makespan = res.Jobs[batches-1].FinishedAt - res.Jobs[0].SubmittedAt
-	return res, nil
+	return j, nil
 }
 
 // Table renders the sweep.

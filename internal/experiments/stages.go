@@ -72,7 +72,7 @@ func configFor(m Mapping, n int) config.SystemConfig {
 }
 
 // kernelFor picks the Table III template for a stage at a level.
-func kernelFor(sys *core.System, stage string, l accel.Level) string {
+func kernelFor(stage string, l accel.Level) string {
 	suffix := "-ZCU9"
 	if l == accel.OnChip {
 		suffix = "-VU9P"
@@ -94,7 +94,7 @@ func kernelFor(sys *core.System, stage string, l accel.Level) string {
 // task with duplicated parameters).
 func addStage(sys *core.System, j *core.Job, stage string, l accel.Level, m workload.Model, deps []*core.TaskNode) ([]*core.TaskNode, error) {
 	reg := sys.Registry()
-	kName := kernelFor(sys, stage, l)
+	kName := kernelFor(stage, l)
 	kernel, err := reg.Lookup(kName)
 	if err != nil {
 		return nil, err
@@ -249,77 +249,24 @@ func (r *RunResult) TotalEnergyPerBatch() float64 {
 	return sum
 }
 
-// RunPipeline runs `batches` consecutive batch jobs of workload m under
-// mapping mp on a system with n near-data instances per used level, and
-// charges background power over the makespan (attributed to each stage in
-// proportion to its busy span).
+// PipelineSpec declares the standard end-to-end pipeline run: `batches`
+// consecutive batch jobs of workload m under mapping mp on a system with n
+// near-data instances per used level, background power attributed per
+// stage busy span.
+func PipelineSpec(name string, m workload.Model, mp Mapping, n, batches int) RunSpec {
+	return RunSpec{
+		Name:       name,
+		Model:      m,
+		Mapping:    mp,
+		Instances:  n,
+		Batches:    batches,
+		Background: BackgroundStageSpan,
+	}
+}
+
+// RunPipeline runs the standard pipeline spec synchronously (the
+// single-run convenience under the CLI's -stats/-trace paths and the
+// functional tests; sweeps go through RunSpecs instead).
 func RunPipeline(m workload.Model, mp Mapping, n, batches int) (*RunResult, error) {
-	if err := m.Validate(); err != nil {
-		return nil, err
-	}
-	if batches <= 0 {
-		return nil, fmt.Errorf("experiments: need at least one batch")
-	}
-	sys, err := core.NewSystem(configFor(mp, n))
-	if err != nil {
-		return nil, err
-	}
-	res := &RunResult{Sys: sys, Batches: batches, StageSpan: make(map[string]sim.Time)}
-	for b := 0; b < batches; b++ {
-		j, err := BuildPipelineJob(sys, b, m, mp)
-		if err != nil {
-			return nil, err
-		}
-		if err := sys.GAM().Submit(j); err != nil {
-			return nil, err
-		}
-		res.Jobs = append(res.Jobs, j)
-	}
-	sys.Run()
-
-	for _, j := range res.Jobs {
-		if !j.Done() {
-			return nil, fmt.Errorf("experiments: job %d did not complete", j.ID)
-		}
-	}
-	first, last := res.Jobs[0], res.Jobs[batches-1]
-	res.Latency = first.Latency()
-	res.Makespan = last.FinishedAt - first.SubmittedAt
-
-	// First batch's per-stage spans.
-	type span struct{ lo, hi sim.Time }
-	spans := map[string]*span{}
-	for _, node := range first.Nodes {
-		st := node.Spec.Stage
-		s, ok := spans[st]
-		if !ok {
-			s = &span{lo: node.DispatchedAt, hi: node.CompletedAt}
-			spans[st] = s
-			continue
-		}
-		if node.DispatchedAt < s.lo {
-			s.lo = node.DispatchedAt
-		}
-		if node.CompletedAt > s.hi {
-			s.hi = node.CompletedAt
-		}
-	}
-	var totalSpan sim.Time
-	for st, s := range spans {
-		res.StageSpan[st] = s.hi - s.lo
-		totalSpan += s.hi - s.lo
-	}
-
-	// Background power over the makespan, split across stages by busy
-	// share so the Fig. 8 stacking has a home for it.
-	if totalSpan > 0 {
-		for st, sp := range res.StageSpan {
-			frac := float64(sp) / float64(totalSpan)
-			window := sim.Time(float64(res.Makespan) * frac)
-			sys.Background(st, window)
-		}
-	} else {
-		sys.Background(StageRR, res.Makespan)
-	}
-	return res, nil
+	return PipelineSpec("pipeline", m, mp, n, batches).Run()
 }

@@ -75,14 +75,18 @@ type Registry struct {
 }
 
 // NewRegistry returns a registry pre-populated with the paper's Table III
-// kernels and the Listing 2 aliases.
+// kernels and the Listing 2 aliases. Each registry gets private copies of
+// the built-in templates: registries live inside concurrently-running
+// simulations, and a shared mutable Template would let one run's tweak
+// (or a misbehaving caller) leak into every other system.
 func NewRegistry() *Registry {
 	r := &Registry{byName: make(map[string]*Template)}
 	for _, t := range builtinTemplates {
 		if err := t.Validate(); err != nil {
 			panic(err) // built-in table must be internally consistent
 		}
-		r.byName[t.Name] = t
+		cp := *t
+		r.byName[t.Name] = &cp
 	}
 	for alias, target := range aliases {
 		r.byName[alias] = r.byName[target]
