@@ -1,12 +1,14 @@
 # Development workflow for the ReACH reproduction.
 #
-#   make check   — everything CI runs: formatting, build, vet, race tests
-#   make test    — fast tier-1 gate (what ROADMAP.md calls the verify step)
-#   make bench   — root + sim benchmarks with allocation stats
+#   make check       — everything CI runs: formatting, build, vet, race tests
+#   make test        — fast tier-1 gate (what ROADMAP.md calls the verify step)
+#   make bench       — root + sim benchmarks with allocation stats
+#   make bench-smoke — 1x pass over every benchmark, so benchmark code
+#                      compiles and runs in CI without paying full benchtime
 
 GO ?= go
 
-.PHONY: check fmt-check build vet test race bench
+.PHONY: check fmt-check build vet test race bench bench-smoke
 
 check: fmt-check build vet race
 
@@ -31,3 +33,7 @@ race:
 
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' . ./internal/sim/
+
+bench-smoke:
+	$(GO) test -bench . -benchtime 1x -benchmem -run '^$$' ./internal/sim/
+	$(GO) test -bench BenchmarkFullEvaluation -benchtime 1x -run '^$$' .

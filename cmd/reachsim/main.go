@@ -12,12 +12,16 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/config"
 	"repro/internal/energy"
@@ -44,8 +48,38 @@ func main() {
 		tracePath = flag.String("trace", "", "write a Chrome trace of a ReACH pipeline run to this file")
 		stats     = flag.Bool("stats", false, "run a ReACH pipeline and dump all component statistics")
 		jobs      = flag.Int("j", 0, "max simulations in flight across all experiments (0 = GOMAXPROCS)")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile (post-GC) to this file on exit")
+		benchOut  = flag.String("benchout", "", "write a JSON wall-clock summary of the experiments to this file")
 	)
 	flag.Parse()
+
+	// Profiling wraps whichever mode runs below, so profiling the full
+	// evaluation (`-exp all -cpuprofile cpu.pb.gz`) needs no custom build.
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		path := *memProf
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC() // report retained heap, not transient garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
+	}
 
 	if *stats {
 		run, err := experiments.RunPipeline(workload.DefaultModel(), experiments.ReACHMapping(), 4, 8)
@@ -94,7 +128,7 @@ func main() {
 	if *exp == "all" {
 		ids = experimentIDs
 	}
-	if err := runAll(os.Stdout, ids, cfg, m, *jobs, *csvOut); err != nil {
+	if err := runAll(os.Stdout, ids, cfg, m, *jobs, *csvOut, *benchOut); err != nil {
 		fatal(err)
 	}
 }
@@ -104,18 +138,24 @@ func main() {
 // in-flight simulations at -j across all experiments (every experiment's
 // internal sweep draws from the same budget), so the output is identical
 // for any -j: tables are collected per experiment and printed in order.
-func runAll(w io.Writer, ids []string, cfg config.SystemConfig, m workload.Model, jobs int, csv bool) error {
+func runAll(w io.Writer, ids []string, cfg config.SystemConfig, m workload.Model, jobs int, csv bool, benchOut string) error {
 	pool := runner.NewPool(jobs)
+	start := time.Now()
+	secs := make([]float64, len(ids)) // each index written by exactly one worker
 	// The outer fan-out is unbounded: experiments only hold pool slots
 	// while leaf simulations run, so len(ids) goroutines cost nothing and
 	// a bounded outer layer could not deadlock the inner sweeps anyway.
 	results, err := runner.Map(context.Background(), runner.Options{Workers: len(ids)}, ids,
-		func(_ context.Context, _ int, id string) ([]*report.Table, error) {
-			return run(id, cfg, m, experiments.WithPool(pool))
+		func(_ context.Context, i int, id string) ([]*report.Table, error) {
+			t0 := time.Now()
+			tables, err := run(id, cfg, m, experiments.WithPool(pool))
+			secs[i] = time.Since(t0).Seconds()
+			return tables, err
 		})
 	if err != nil {
 		return err
 	}
+	total := time.Since(start).Seconds()
 	for _, tables := range results {
 		for _, t := range tables {
 			if err := emit(t, w, csv); err != nil {
@@ -123,7 +163,37 @@ func runAll(w io.Writer, ids []string, cfg config.SystemConfig, m workload.Model
 			}
 		}
 	}
+	if benchOut != "" {
+		if err := writeBenchOut(benchOut, ids, secs, total, jobs); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// writeBenchOut dumps per-experiment and total wall-clock seconds as JSON —
+// the before/after evidence file for performance PRs (see BENCH_pr3.json).
+func writeBenchOut(path string, ids []string, secs []float64, total float64, jobs int) error {
+	type expTiming struct {
+		ID      string  `json:"id"`
+		Seconds float64 `json:"seconds"`
+	}
+	out := struct {
+		Jobs         int         `json:"jobs"`
+		TotalSeconds float64     `json:"total_seconds"`
+		Experiments  []expTiming `json:"experiments"`
+	}{Jobs: jobs, TotalSeconds: total}
+	for i, id := range ids {
+		out.Experiments = append(out.Experiments, expTiming{ID: id, Seconds: secs[i]})
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 func run(id string, cfg config.SystemConfig, m workload.Model, opts ...experiments.Option) ([]*report.Table, error) {

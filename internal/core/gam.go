@@ -28,8 +28,69 @@ type GAM struct {
 
 	dispatchArmed bool
 
+	// deliverCB/closeCB are the stream-buffer consumer callbacks, allocated
+	// once at construction: every Put/Get pair through a stream buffer
+	// passes the affected node as the queued item, so the hot path never
+	// creates a per-delivery closure.
+	deliverCB func(any)
+	closeCB   func(any)
+
 	// Stats — the observable behaviour of the Fig. 5 machinery.
 	stats GAMStats
+}
+
+// Event phase tags for TaskNode.Fire. A node's lifecycle events all use the
+// node itself as the preallocated handler; the phase (and, for deliveries,
+// the dependent's index) is encoded in the event arg.
+const (
+	nodeExec    uint64 = iota // run Execute after the command latency
+	nodeFinish                // GAM observes completion (coherent flag or final poll)
+	nodePoll                  // status request packet arrives at the device
+	nodeDeliver               // zero-byte output forwarded to dependent (arg >> nodePhaseBits)
+	nodeStream                // DMA to dependent (arg >> nodePhaseBits) landed
+	nodeCollect               // terminal Collect stream reached host memory
+
+	nodePhaseBits = 3
+	nodePhaseMask = (1 << nodePhaseBits) - 1
+)
+
+// Fire implements sim.Handler for every per-node event, dispatching on the
+// phase tag. Using the long-lived node as the handler keeps the simulation
+// hot path free of per-event closures.
+func (n *TaskNode) Fire(_ *sim.Engine, arg uint64) {
+	g := n.gam
+	switch arg & nodePhaseMask {
+	case nodeExec:
+		g.execute(n)
+	case nodeFinish:
+		g.finish(n, n.acc)
+	case nodePoll:
+		g.poll(n)
+	case nodeDeliver:
+		g.deliver(n.dependents[arg>>nodePhaseBits])
+	case nodeStream:
+		g.streamDeliver(n, n.dependents[arg>>nodePhaseBits])
+	case nodeCollect:
+		buf := g.streamBuf(n.Level, accel.CPU)
+		buf.Put(n, nil)
+		buf.Get(g.closeCB)
+	}
+}
+
+// GAM-level event args.
+const (
+	gamDispatch uint64 = iota // armed dispatch pass over the ready queues
+	gamArm                    // re-arm dispatch (a NotBefore input landed)
+)
+
+// Fire implements sim.Handler for the GAM's own events.
+func (g *GAM) Fire(_ *sim.Engine, arg uint64) {
+	if arg == gamDispatch {
+		g.dispatchArmed = false
+		g.dispatchAll()
+		return
+	}
+	g.armDispatch()
 }
 
 // GAMStats counts the GAM's control-plane activity.
@@ -52,12 +113,15 @@ type ProgressEntry struct {
 }
 
 func newGAM(s *System) *GAM {
-	return &GAM{
+	g := &GAM{
 		sys:        s,
 		readyQ:     make(map[accel.Level][]*TaskNode),
 		claimed:    make(map[accel.Accelerator]*TaskNode),
 		streamBufs: make(map[[2]accel.Level]*sim.TokenQueue),
 	}
+	g.deliverCB = func(v any) { g.deliver(v.(*TaskNode)) }
+	g.closeCB = func(v any) { g.closeNode(v.(*TaskNode)) }
+	return g
 }
 
 // Stats returns a snapshot of the control-plane counters.
@@ -98,8 +162,12 @@ func (g *GAM) Submit(j *Job) error {
 		}
 	}
 	j.SubmittedAt = g.sys.eng.Now()
+	j.gam = g
 	g.jobs = append(g.jobs, j)
 	g.stats.JobsSubmitted++
+	for _, n := range j.Nodes {
+		n.gam = g
+	}
 	for _, n := range j.Nodes {
 		if n.deps == 0 {
 			g.markReady(n)
@@ -121,10 +189,7 @@ func (g *GAM) armDispatch() {
 		return
 	}
 	g.dispatchArmed = true
-	g.sys.eng.Schedule(0, func() {
-		g.dispatchArmed = false
-		g.dispatchAll()
-	})
+	g.sys.eng.ScheduleCall(0, g, gamDispatch)
 }
 
 // oldestOpenJob returns the first unfinished job (the gate used when
@@ -155,13 +220,11 @@ func (g *GAM) dispatchAll() {
 		// early batches' later stages ahead of later batches' early
 		// stages, so pipeline fill does not starve in-flight queries, and
 		// lets a latency-sensitive tenant preempt queued bulk work.
-		sort.SliceStable(q, func(i, j int) bool {
-			if q[i].job.Priority != q[j].job.Priority {
-				return q[i].job.Priority > q[j].job.Priority
-			}
-			return q[i].job.ID < q[j].job.ID
-		})
-		var rest []*TaskNode
+		sortReady(q)
+		// Filter in place: nothing inside the loop mutates this level's
+		// queue (dispatch only schedules events), so compacting the kept
+		// nodes into the same backing array avoids a per-round allocation.
+		rest := q[:0]
 		for _, n := range q {
 			if gate != nil && n.job != gate {
 				rest = append(rest, n)
@@ -169,7 +232,7 @@ func (g *GAM) dispatchAll() {
 			}
 			if now := g.sys.eng.Now(); n.NotBefore > now {
 				// Input still in flight: revisit when it lands.
-				g.sys.eng.At(n.NotBefore, g.armDispatch)
+				g.sys.eng.AtCall(n.NotBefore, g, gamArm)
 				rest = append(rest, n)
 				continue
 			}
@@ -182,6 +245,29 @@ func (g *GAM) dispatchAll() {
 		}
 		g.readyQ[level] = rest
 	}
+}
+
+// sortReady is a stable insertion sort over a ready queue (priority
+// descending, then job ID ascending). The queues are small and nearly
+// sorted between dispatch rounds, so this beats sort.SliceStable in the
+// hot path and — unlike it — allocates nothing.
+func sortReady(q []*TaskNode) {
+	for i := 1; i < len(q); i++ {
+		n := q[i]
+		j := i
+		for j > 0 && readyBefore(n, q[j-1]) {
+			q[j] = q[j-1]
+			j--
+		}
+		q[j] = n
+	}
+}
+
+func readyBefore(a, b *TaskNode) bool {
+	if a.job.Priority != b.job.Priority {
+		return a.job.Priority > b.job.Priority
+	}
+	return a.job.ID < b.job.ID
 }
 
 // pickIdle finds an unclaimed, idle instance at the level (honouring pins).
@@ -212,59 +298,70 @@ func (g *GAM) dispatch(n *TaskNode, a accel.Accelerator) {
 	g.stats.CommandPackets++
 
 	cl := g.sys.gamCommandLatency()
-	estimate := a.Estimate(&n.Spec)
-	g.sys.eng.Schedule(cl, func() {
-		// Configure the fabric (partial reconfiguration when a different
-		// kernel was resident; the delay follows fpga.Fabric's setting —
-		// zero by default, as in the paper's evaluation §VI-A).
-		if _, err := a.Fabric().Load(n.Spec.Kernel); err != nil {
-			panic(fmt.Sprintf("core: kernel/device mismatch on %s: %v", a.Name(), err))
-		}
-		done, err := a.Execute(&n.Spec)
-		if err != nil {
-			// The GAM only dispatches to devices it observed idle; an
-			// execution refusal means the model's invariants are broken.
-			panic(fmt.Sprintf("core: dispatch invariant violated on %s: %v", a.Name(), err))
-		}
-		n.CompletedAt = done
-		if n.Level == accel.OnChip {
-			// On-chip accelerators are cache-coherent: completion is
-			// observed through the coherent flag without polling.
-			g.sys.eng.At(done+cl, func() { g.finish(n, a) })
-			return
-		}
-		// Memory/storage modules cannot interrupt the GAM (§II-D): poll
-		// at the estimated completion, and keep polling with refreshed
-		// wait estimates until the device reports done.
-		firstPoll := g.sys.eng.Now() + estimate
-		g.schedulePoll(n, a, firstPoll)
-	})
+	n.acc = a
+	n.estimate = a.Estimate(&n.Spec)
+	g.sys.eng.ScheduleCall(cl, n, nodeExec)
+}
+
+// execute runs when the ACC command packet arrives at the device.
+func (g *GAM) execute(n *TaskNode) {
+	a := n.acc
+	// Configure the fabric (partial reconfiguration when a different
+	// kernel was resident; the delay follows fpga.Fabric's setting —
+	// zero by default, as in the paper's evaluation §VI-A).
+	if _, err := a.Fabric().Load(n.Spec.Kernel); err != nil {
+		panic(fmt.Sprintf("core: kernel/device mismatch on %s: %v", a.Name(), err))
+	}
+	done, err := a.Execute(&n.Spec)
+	if err != nil {
+		// The GAM only dispatches to devices it observed idle; an
+		// execution refusal means the model's invariants are broken.
+		panic(fmt.Sprintf("core: dispatch invariant violated on %s: %v", a.Name(), err))
+	}
+	n.CompletedAt = done
+	cl := g.sys.gamCommandLatency()
+	if n.Level == accel.OnChip {
+		// On-chip accelerators are cache-coherent: completion is
+		// observed through the coherent flag without polling.
+		g.sys.eng.AtCall(done+cl, n, nodeFinish)
+		return
+	}
+	// Memory/storage modules cannot interrupt the GAM (§II-D): poll
+	// at the estimated completion, and keep polling with refreshed
+	// wait estimates until the device reports done.
+	firstPoll := g.sys.eng.Now() + n.estimate
+	g.schedulePoll(n, firstPoll)
 }
 
 // schedulePoll sends a status request packet at pollAt.
-func (g *GAM) schedulePoll(n *TaskNode, a accel.Accelerator, pollAt sim.Time) {
-	cl := g.sys.gamCommandLatency()
-	if minAt := g.sys.eng.Now() + cl; pollAt < minAt {
+func (g *GAM) schedulePoll(n *TaskNode, pollAt sim.Time) {
+	if minAt := g.sys.eng.Now() + g.sys.gamCommandLatency(); pollAt < minAt {
 		pollAt = minAt
 	}
-	g.sys.eng.At(pollAt, func() {
-		g.stats.StatusPolls++
-		n.Polls++
-		if pollAt >= n.CompletedAt {
-			// Status packet returns "finished" with the output region
-			// address (Fig. 5b).
-			g.sys.eng.Schedule(cl, func() { g.finish(n, a) })
-			return
-		}
-		// Not finished: the device returns a refreshed wait time of
-		// remaining × (1+slack), updated in the progress table.
-		remaining := n.CompletedAt - pollAt
-		next := sim.Time(float64(remaining) * (1 + g.sys.cfg.GAM.StatusSlackFraction))
-		if next < cl {
-			next = cl
-		}
-		g.schedulePoll(n, a, pollAt+next)
-	})
+	g.sys.eng.AtCall(pollAt, n, nodePoll)
+}
+
+// poll runs when a status request packet reaches the device (the event
+// fires at the — possibly clamped — pollAt, so Now() is the poll time).
+func (g *GAM) poll(n *TaskNode) {
+	pollAt := g.sys.eng.Now()
+	cl := g.sys.gamCommandLatency()
+	g.stats.StatusPolls++
+	n.Polls++
+	if pollAt >= n.CompletedAt {
+		// Status packet returns "finished" with the output region
+		// address (Fig. 5b).
+		g.sys.eng.ScheduleCall(cl, n, nodeFinish)
+		return
+	}
+	// Not finished: the device returns a refreshed wait time of
+	// remaining × (1+slack), updated in the progress table.
+	remaining := n.CompletedAt - pollAt
+	next := sim.Time(float64(remaining) * (1 + g.sys.cfg.GAM.StatusSlackFraction))
+	if next < cl {
+		next = cl
+	}
+	g.schedulePoll(n, pollAt+next)
 }
 
 // finish runs when the GAM observes a task's completion: it frees the
@@ -280,14 +377,9 @@ func (g *GAM) finish(n *TaskNode, a accel.Accelerator) {
 	// through the src→dst stream buffer: the put/get pair completes in the
 	// same instant (the DMA already paid the transfer time), so timing is
 	// unchanged while stream traffic is accounted at the shared layer.
-	for _, d := range n.dependents {
-		dep := d
-		deliver := func() {
-			dep.deps--
-			if dep.deps == 0 {
-				g.markReady(dep)
-			}
-		}
+	// Both delivery flavours reuse the finished node as the event handler
+	// with the dependent's index in the arg — no per-dependent closures.
+	for i, dep := range n.dependents {
 		if n.OutBytes > 0 {
 			dstIdx := dep.Pin
 			if dstIdx < 0 {
@@ -295,13 +387,9 @@ func (g *GAM) finish(n *TaskNode, a accel.Accelerator) {
 			}
 			g.stats.Transfers++
 			transferDone := g.sys.Transfer(n.Level, dep.Level, dstIdx, n.OutBytes, n.Spec.Stage)
-			buf := g.streamBuf(n.Level, dep.Level)
-			g.sys.eng.At(transferDone, func() {
-				buf.Put(n, nil)
-				buf.Get(func(any) { deliver() })
-			})
+			g.sys.eng.AtCall(transferDone, n, nodeStream|uint64(i)<<nodePhaseBits)
 		} else {
-			g.sys.eng.At(g.sys.eng.Now(), deliver)
+			g.sys.eng.AtCall(g.sys.eng.Now(), n, nodeDeliver|uint64(i)<<nodePhaseBits)
 		}
 	}
 
@@ -310,16 +398,29 @@ func (g *GAM) finish(n *TaskNode, a accel.Accelerator) {
 		// isn't complete until the result lands in host memory.
 		g.stats.Transfers++
 		collected := g.sys.Transfer(n.Level, accel.CPU, 0, n.OutBytes, n.Spec.Stage)
-		buf := g.streamBuf(n.Level, accel.CPU)
-		g.sys.eng.At(collected, func() {
-			buf.Put(n, nil)
-			buf.Get(func(any) { g.closeNode(n) })
-		})
+		g.sys.eng.AtCall(collected, n, nodeCollect)
 		g.armDispatch()
 		return
 	}
 	g.closeNode(n)
 	g.armDispatch()
+}
+
+// streamDeliver runs when the DMA to dependents[i] lands: the chunk passes
+// through the src→dst stream buffer (put/get complete in the same instant;
+// the transfer time was already paid) and the dependency releases.
+func (g *GAM) streamDeliver(n, dep *TaskNode) {
+	buf := g.streamBuf(n.Level, dep.Level)
+	buf.Put(dep, nil)
+	buf.Get(g.deliverCB)
+}
+
+// deliver releases one dependency edge into dep.
+func (g *GAM) deliver(dep *TaskNode) {
+	dep.deps--
+	if dep.deps == 0 {
+		g.markReady(dep)
+	}
 }
 
 // streamBuf returns (creating on first use) the registered stream buffer
@@ -348,20 +449,24 @@ func (g *GAM) closeNode(n *TaskNode) {
 	j := n.job
 	j.remaining--
 	if j.remaining == 0 {
-		// Interrupt the host (Fig. 6 step 3).
-		cl := g.sys.gamCommandLatency()
+		// Interrupt the host (Fig. 6 step 3): the job itself is the
+		// preallocated handler for its completion event.
 		g.stats.Interrupts++
-		g.sys.eng.Schedule(cl, func() {
-			j.done = true
-			j.FinishedAt = g.sys.eng.Now()
-			g.stats.JobsCompleted++
-			if j.onDone != nil {
-				j.onDone(j)
-			}
-			// A finished job may unblock the next one when cross-job
-			// pipelining is disabled.
-			g.armDispatch()
-		})
+		g.sys.eng.ScheduleCall(g.sys.gamCommandLatency(), j, 0)
 	}
+	g.armDispatch()
+}
+
+// Fire implements sim.Handler: the host observes the completion interrupt.
+func (j *Job) Fire(eng *sim.Engine, _ uint64) {
+	g := j.gam
+	j.done = true
+	j.FinishedAt = eng.Now()
+	g.stats.JobsCompleted++
+	if j.onDone != nil {
+		j.onDone(j)
+	}
+	// A finished job may unblock the next one when cross-job pipelining is
+	// disabled.
 	g.armDispatch()
 }

@@ -63,6 +63,14 @@ type TaskNode struct {
 	dependents []*TaskNode
 	state      NodeState
 
+	// Event-dispatch state, filled in by the GAM so the node can serve as
+	// its own preallocated sim.Handler (no per-event closures): the owning
+	// GAM, the device the node was dispatched to, and the wait estimate the
+	// device returned at dispatch time.
+	gam      *GAM
+	acc      accel.Accelerator
+	estimate sim.Time
+
 	// Timeline, filled in by the GAM.
 	ReadyAt      sim.Time
 	DispatchedAt sim.Time
@@ -92,6 +100,7 @@ type Job struct {
 	FinishedAt  sim.Time
 	done        bool
 	onDone      func(*Job)
+	gam         *GAM // owning GAM, set at Submit; the job is its own completion-event handler
 }
 
 // NewJob creates an empty job.

@@ -1,0 +1,52 @@
+package mem
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// One submit→arbitrate→access→completion round trip through the FR-FCFS
+// controller must be allocation-free on a warmed engine: the arbitration
+// and completion events ride the pooled calendar (the controller and the
+// request are their own handlers), the request queues reuse their backing
+// arrays, and the DIMM timing model is pure arithmetic. This is the
+// per-request cost the shortlist-retrieval experiments pay millions of
+// times, so a regression here is a regression in every figure.
+func TestControllerRoundTripAllocs(t *testing.T) {
+	eng := sim.NewEngine()
+	c := NewController(eng, "ctl", []*DIMM{
+		NewDIMM(eng, "d0", DDR42400(), DefaultGeometry()),
+	}, 64, 64)
+
+	var completions int
+	r := &Request{Done: func(sim.Time) { completions++ }}
+
+	// Warm: fill the queue/heap/slot capacities and the DIMM row state.
+	for i := 0; i < 256; i++ {
+		r.Addr = int64(i) * 64
+		if !c.Submit(r) {
+			t.Fatal("warmup submit rejected")
+		}
+		eng.Run()
+	}
+
+	addr := int64(256) * 64
+	allocs := testing.AllocsPerRun(200, func() {
+		r.Addr = addr
+		addr += 64
+		if !c.Submit(r) {
+			t.Fatal("submit rejected")
+		}
+		eng.Run()
+	})
+	if allocs != 0 {
+		t.Errorf("controller round trip allocated %.1f objects/op, want 0", allocs)
+	}
+	if completions == 0 {
+		t.Fatal("no completions observed")
+	}
+	if eng.Pending() != 0 {
+		t.Errorf("pending = %d after drain, want 0", eng.Pending())
+	}
+}

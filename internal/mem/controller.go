@@ -14,6 +14,11 @@ type Request struct {
 	issued sim.Time
 }
 
+// Fire implements sim.Handler: the controller schedules the request itself
+// as its completion event (no per-request closure), firing Done at the
+// access's completion instant.
+func (r *Request) Fire(eng *sim.Engine, _ uint64) { r.Done(eng.Now()) }
+
 // Controller is an FR-FCFS (first-ready, first-come-first-served) memory
 // controller with bounded read and write queues, matching the paper's
 // Table II (64/64-entry read/write request queues). FR-FCFS prioritises
@@ -123,10 +128,14 @@ func (c *Controller) Submit(r *Request) bool {
 	}
 	if !c.busy {
 		c.busy = true
-		c.eng.Schedule(0, c.arbitrate)
+		c.eng.ScheduleCall(0, c, 0)
 	}
 	return true
 }
+
+// Fire implements sim.Handler: every controller event is an arbitration
+// pass, so the controller itself is the (single, preallocated) handler.
+func (c *Controller) Fire(*sim.Engine, uint64) { c.arbitrate() }
 
 // arbitrate issues one request per invocation using FR-FCFS and
 // re-schedules itself while work remains. Reads have priority over writes
@@ -142,7 +151,7 @@ func (c *Controller) arbitrate() {
 	done := d.Access(r.Addr, r.Write)
 	c.served++
 	if r.Done != nil {
-		c.eng.At(done, func() { r.Done(done) })
+		c.eng.AtCall(done, r, 0)
 	}
 	// Issue the next request once this one's command slot is consumed.
 	// Approximating the command bus as one issue per burst slot keeps
@@ -151,7 +160,7 @@ func (c *Controller) arbitrate() {
 	if done < next {
 		next = done
 	}
-	c.eng.At(next, c.arbitrate)
+	c.eng.AtCall(next, c, 0)
 }
 
 // pick selects the next request: row-hit first (FR), then oldest (FCFS).

@@ -1,67 +1,93 @@
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
-// Event is a scheduled callback in the simulation calendar. Events are
-// created by Engine.At and Engine.Schedule and may be cancelled before they
-// fire.
-type Event struct {
-	at     Time
-	seq    uint64 // tie-breaker: FIFO among same-time events
-	fn     func()
-	eng    *Engine
-	index  int // heap index, -1 once popped or cancelled
-	cancel bool
+// Handler is the closure-free scheduling interface: long-lived model
+// objects (a memory controller, a task node, a job) implement Fire once and
+// are scheduled with Engine.AtCall/ScheduleCall, passing per-event state
+// through arg. This is the steady-state hot path — it allocates nothing —
+// while the func()-based At/Schedule remain as a convenience for cold paths
+// and tests (the closure itself is the caller's allocation; the calendar
+// entry is pooled either way).
+type Handler interface {
+	// Fire runs the event. arg is the value passed at scheduling time;
+	// handlers that multiplex several event kinds encode a phase tag (and,
+	// if needed, a small index) in it.
+	Fire(eng *Engine, arg uint64)
 }
 
-// When reports the simulated time the event is scheduled for.
-func (ev *Event) When() Time { return ev.at }
+// event is one calendar entry: the ordering keys inline (so heap sifts
+// touch one cache line per element, no pointer chasing, no interface
+// boxing) plus the index of the slot holding its payload.
+type event struct {
+	at   Time
+	seq  uint64 // tie-breaker: FIFO among same-time events
+	slot int32
+}
+
+// eventSlot holds an event's payload. Slots are recycled through the
+// engine's free list; gen increments on every release so stale EventHandles
+// can never cancel a reused slot.
+type eventSlot struct {
+	h         Handler
+	fn        func()
+	arg       uint64
+	gen       uint32
+	heapIndex int32 // position in the heap, -1 once fired or cancelled
+}
+
+// EventHandle identifies a scheduled event for cancellation. It is a small
+// value (no heap allocation); the zero value is inert. A handle becomes
+// stale once its event fires or is cancelled — Cancel on a stale handle is
+// a no-op even if the underlying slot has been reused, because the slot's
+// generation stamp no longer matches.
+type EventHandle struct {
+	eng  *Engine
+	slot int32
+	gen  uint32
+}
+
+// Scheduled reports whether the event is still pending in the calendar.
+func (h EventHandle) Scheduled() bool {
+	e := h.eng
+	if e == nil || int(h.slot) >= len(e.slots) {
+		return false
+	}
+	s := &e.slots[h.slot]
+	return s.gen == h.gen && s.heapIndex >= 0
+}
+
+// When reports the simulated time the event is scheduled for, or zero once
+// it has fired or been cancelled.
+func (h EventHandle) When() Time {
+	e := h.eng
+	if e == nil || int(h.slot) >= len(e.slots) {
+		return 0
+	}
+	s := &e.slots[h.slot]
+	if s.gen != h.gen || s.heapIndex < 0 {
+		return 0
+	}
+	return e.heap[s.heapIndex].at
+}
 
 // Cancel prevents the event from firing and removes it from the calendar
 // immediately, so long-lived simulations that schedule-and-cancel (e.g.
 // timeout guards) do not accumulate dead events in the heap until their
-// nominal time is reached. Cancelling an event that already fired (or was
-// already cancelled) is a no-op.
-func (ev *Event) Cancel() {
-	if ev.cancel {
+// nominal time is reached; the slot returns to the free list at once.
+// Cancelling an event that already fired (or was already cancelled) is a
+// no-op: the generation check makes stale handles harmless.
+func (h EventHandle) Cancel() {
+	e := h.eng
+	if e == nil || int(h.slot) >= len(e.slots) {
 		return
 	}
-	ev.cancel = true
-	if ev.index >= 0 && ev.eng != nil {
-		heap.Remove(&ev.eng.pq, ev.index)
+	s := &e.slots[h.slot]
+	if s.gen != h.gen || s.heapIndex < 0 {
+		return
 	}
-}
-
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
+	e.removeAt(int(s.heapIndex))
+	e.release(h.slot)
 }
 
 // Engine is a single-threaded discrete-event simulation kernel. All model
@@ -71,10 +97,18 @@ func (h *eventHeap) Pop() any {
 // The engine is deliberately not safe for concurrent use: determinism is a
 // core requirement for the reproducibility of the experiments, so the whole
 // simulation executes on one goroutine.
+//
+// The calendar is a hand-rolled 4-ary min-heap over a flat []event slice
+// ordered by (at, seq): no container/heap interface boxing, no per-event
+// pointer, and event payloads live in pooled slots recycled through a free
+// list — steady-state scheduling and dispatch perform zero heap
+// allocations (see TestScheduleCallZeroAlloc).
 type Engine struct {
 	now      Time
 	seq      uint64
-	pq       eventHeap
+	heap     []event
+	slots    []eventSlot
+	free     []int32
 	executed uint64
 	running  bool
 	stats    *StatsRegistry
@@ -83,7 +117,16 @@ type Engine struct {
 // NewEngine returns an engine with the clock at time zero and an empty
 // calendar.
 func NewEngine() *Engine {
-	return &Engine{stats: NewStatsRegistry()}
+	// Seed the calendar with room for a realistic pending-event population
+	// so a fresh engine reaches its zero-alloc steady state without paying
+	// a ladder of append regrowths (and slot copies) first.
+	const seedCap = 1024
+	return &Engine{
+		stats: NewStatsRegistry(),
+		heap:  make([]event, 0, seedCap),
+		slots: make([]eventSlot, 0, seedCap),
+		free:  make([]int32, 0, seedCap),
+	}
 }
 
 // Now reports the current simulated time.
@@ -105,47 +148,200 @@ func (e *Engine) Executed() uint64 { return e.executed }
 
 // Pending reports the number of events currently scheduled. Cancelled
 // events are removed from the calendar eagerly and do not count.
-func (e *Engine) Pending() int { return len(e.pq) }
+func (e *Engine) Pending() int { return len(e.heap) }
 
 // At schedules fn to run at absolute simulated time t. Scheduling in the
 // past panics: it always indicates a model bug, and silently clamping would
-// corrupt causality.
-func (e *Engine) At(t Time, fn func()) *Event {
+// corrupt causality. Hot paths should prefer AtCall, which does not force
+// the caller to allocate a closure.
+func (e *Engine) At(t Time, fn func()) EventHandle {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
 	if fn == nil {
 		panic("sim: scheduling nil callback")
 	}
-	ev := &Event{at: t, seq: e.seq, fn: fn, eng: e}
-	e.seq++
-	heap.Push(&e.pq, ev)
-	return ev
+	return e.push(t, nil, 0, fn)
 }
 
 // Schedule schedules fn to run after delay from the current time.
 // A negative delay panics.
-func (e *Engine) Schedule(delay Time, fn func()) *Event {
+func (e *Engine) Schedule(delay Time, fn func()) EventHandle {
 	if delay < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", delay))
 	}
 	return e.At(e.now+delay, fn)
 }
 
-// Step dispatches the single earliest event. It reports false when the
-// calendar is empty.
-func (e *Engine) Step() bool {
-	for len(e.pq) > 0 {
-		ev := heap.Pop(&e.pq).(*Event)
-		if ev.cancel {
-			continue
-		}
-		e.now = ev.at
-		e.executed++
-		ev.fn()
-		return true
+// AtCall schedules h.Fire(e, arg) at absolute simulated time t. This is the
+// allocation-free fast path: the handler is a long-lived model object, arg
+// carries the per-event state, and the calendar entry is a pooled slot.
+func (e *Engine) AtCall(t Time, h Handler, arg uint64) EventHandle {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
-	return false
+	if h == nil {
+		panic("sim: scheduling nil handler")
+	}
+	return e.push(t, h, arg, nil)
+}
+
+// ScheduleCall schedules h.Fire(e, arg) after delay from the current time.
+// A negative delay panics.
+func (e *Engine) ScheduleCall(delay Time, h Handler, arg uint64) EventHandle {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", delay))
+	}
+	return e.AtCall(e.now+delay, h, arg)
+}
+
+// push places a payload in a (recycled) slot and the ordering keys in the
+// heap. Exactly one of h and fn is non-nil.
+func (e *Engine) push(t Time, h Handler, arg uint64, fn func()) EventHandle {
+	var si int32
+	if n := len(e.free); n > 0 {
+		si = e.free[n-1]
+		e.free = e.free[:n-1]
+	} else {
+		e.slots = append(e.slots, eventSlot{})
+		si = int32(len(e.slots) - 1)
+	}
+	s := &e.slots[si]
+	s.h, s.fn, s.arg = h, fn, arg
+	e.heap = append(e.heap, event{at: t, seq: e.seq, slot: si})
+	e.seq++
+	e.siftUp(len(e.heap) - 1)
+	return EventHandle{eng: e, slot: si, gen: s.gen}
+}
+
+// release returns a fired or cancelled event's slot to the free list,
+// clearing payload references and bumping the generation so stale handles
+// cannot touch the reused slot.
+func (e *Engine) release(si int32) {
+	s := &e.slots[si]
+	s.h, s.fn, s.arg = nil, nil, 0
+	s.gen++
+	s.heapIndex = -1
+	e.free = append(e.free, si)
+}
+
+// before orders calendar entries by (at, seq); seq is unique, so the order
+// is total and same-time events dispatch FIFO regardless of heap shape.
+func before(a, b event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// The heap is 4-ary: children of i are 4i+1..4i+4, parent is (i-1)/4.
+// Shallower than a binary heap (siftUp does fewer compares per level) and
+// the four children share cache lines in the flat slice, which is where a
+// specialized calendar queue wins over container/heap.
+
+func (e *Engine) siftUp(i int) {
+	ev := e.heap[i]
+	for i > 0 {
+		p := (i - 1) / 4
+		if !before(ev, e.heap[p]) {
+			break
+		}
+		e.heap[i] = e.heap[p]
+		e.slots[e.heap[i].slot].heapIndex = int32(i)
+		i = p
+	}
+	e.heap[i] = ev
+	e.slots[ev.slot].heapIndex = int32(i)
+}
+
+func (e *Engine) siftDown(i int) {
+	n := len(e.heap)
+	ev := e.heap[i]
+	for {
+		c := 4*i + 1
+		if c >= n {
+			break
+		}
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if before(e.heap[j], e.heap[m]) {
+				m = j
+			}
+		}
+		if !before(e.heap[m], ev) {
+			break
+		}
+		e.heap[i] = e.heap[m]
+		e.slots[e.heap[i].slot].heapIndex = int32(i)
+		i = m
+	}
+	e.heap[i] = ev
+	e.slots[ev.slot].heapIndex = int32(i)
+}
+
+// popMin removes and returns the earliest calendar entry.
+func (e *Engine) popMin() event {
+	top := e.heap[0]
+	n := len(e.heap) - 1
+	if n > 0 {
+		e.heap[0] = e.heap[n]
+	}
+	e.heap = e.heap[:n]
+	if n > 0 {
+		e.slots[e.heap[0].slot].heapIndex = 0
+		e.siftDown(0)
+	}
+	return top
+}
+
+// removeAt deletes the entry at heap index i (cancellation).
+func (e *Engine) removeAt(i int) {
+	n := len(e.heap) - 1
+	last := e.heap[n]
+	e.heap = e.heap[:n]
+	if i == n {
+		return
+	}
+	e.heap[i] = last
+	e.slots[last.slot].heapIndex = int32(i)
+	e.siftUp(i)
+	e.siftDown(int(e.slots[last.slot].heapIndex))
+}
+
+// dispatch fires one popped calendar entry. The slot is released before the
+// callback runs so the callback's own scheduling can reuse it immediately.
+func (e *Engine) dispatch(ev event) {
+	s := &e.slots[ev.slot]
+	h, fn, arg := s.h, s.fn, s.arg
+	e.release(ev.slot)
+	e.now = ev.at
+	e.executed++
+	if h != nil {
+		h.Fire(e, arg)
+	} else {
+		fn()
+	}
+}
+
+// Step dispatches the single earliest event. It reports false when the
+// calendar is empty. Like RunUntil it panics on re-entrant invocation
+// (calling Step from inside an event callback would corrupt dispatch
+// order).
+func (e *Engine) Step() bool {
+	if e.running {
+		panic("sim: re-entrant Step")
+	}
+	if len(e.heap) == 0 {
+		return false
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	e.dispatch(e.popMin())
+	return true
 }
 
 // Run dispatches events until the calendar drains. It panics on re-entrant
@@ -163,19 +359,11 @@ func (e *Engine) RunUntil(deadline Time) {
 	}
 	e.running = true
 	defer func() { e.running = false }()
-	for len(e.pq) > 0 {
-		next := e.pq[0]
-		if next.cancel {
-			heap.Pop(&e.pq)
-			continue
-		}
-		if next.at > deadline {
+	for len(e.heap) > 0 {
+		if e.heap[0].at > deadline {
 			break
 		}
-		heap.Pop(&e.pq)
-		e.now = next.at
-		e.executed++
-		next.fn()
+		e.dispatch(e.popMin())
 	}
 	if deadline != MaxTime && deadline > e.now {
 		e.now = deadline
@@ -190,8 +378,8 @@ func (e *Engine) Advance(d Time) {
 		panic("sim: negative advance")
 	}
 	target := e.now + d
-	if len(e.pq) > 0 && e.pq[0].at < target {
-		panic(fmt.Sprintf("sim: Advance(%v) would skip event scheduled at %v", d, e.pq[0].at))
+	if len(e.heap) > 0 && e.heap[0].at < target {
+		panic(fmt.Sprintf("sim: Advance(%v) would skip event scheduled at %v", d, e.heap[0].at))
 	}
 	e.now = target
 }

@@ -15,7 +15,13 @@ type TokenQueue struct {
 	name     string
 	capacity int
 
+	// items is the buffer with head as its pop index: popping advances
+	// head and pushing appends, so the backing array is reused in place
+	// once it drains instead of being re-allocated every wraparound —
+	// steady-state put/get traffic (the GAM stream buffers) is
+	// allocation-free.
 	items   []any
+	head    int
 	getters []pendingGet
 	putters []pendingPut
 
@@ -64,7 +70,28 @@ func (q *TokenQueue) Name() string { return q.name }
 func (q *TokenQueue) Capacity() int { return q.capacity }
 
 // Len reports the number of items currently buffered.
-func (q *TokenQueue) Len() int { return len(q.items) }
+func (q *TokenQueue) Len() int { return len(q.items) - q.head }
+
+// popItem removes and returns the oldest buffered item, recycling the
+// backing array once it fully drains.
+func (q *TokenQueue) popItem() any {
+	item := q.items[q.head]
+	q.items[q.head] = nil
+	q.head++
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
+	return item
+}
+
+// pushItem appends an item and tracks the occupancy high-water mark.
+func (q *TokenQueue) pushItem(item any) {
+	q.items = append(q.items, item)
+	if occ := len(q.items) - q.head; occ > q.maxOccupancy {
+		q.maxOccupancy = occ
+	}
+}
 
 // recordWait accounts a park that began at parked and ended now.
 func (q *TokenQueue) recordWait(parked Time) {
@@ -92,11 +119,8 @@ func (q *TokenQueue) Put(item any, done func()) {
 		g.onItem(item)
 		return
 	}
-	if len(q.items) < q.capacity {
-		q.items = append(q.items, item)
-		if len(q.items) > q.maxOccupancy {
-			q.maxOccupancy = len(q.items)
-		}
+	if q.Len() < q.capacity {
+		q.pushItem(item)
 		if done != nil {
 			done()
 		}
@@ -114,9 +138,8 @@ func (q *TokenQueue) Get(onItem func(any)) {
 		panic("sim: TokenQueue.Get with nil callback")
 	}
 	q.gets++
-	if len(q.items) > 0 {
-		item := q.items[0]
-		q.items = q.items[1:]
+	if q.Len() > 0 {
+		item := q.popItem()
 		q.admitParkedPutter()
 		onItem(item)
 		return
@@ -139,11 +162,10 @@ func (q *TokenQueue) Get(onItem func(any)) {
 
 // TryGet pops an item if one is buffered, without parking.
 func (q *TokenQueue) TryGet() (any, bool) {
-	if len(q.items) == 0 {
+	if q.Len() == 0 {
 		return nil, false
 	}
-	item := q.items[0]
-	q.items = q.items[1:]
+	item := q.popItem()
 	q.gets++
 	q.admitParkedPutter()
 	return item, true
@@ -156,10 +178,7 @@ func (q *TokenQueue) admitParkedPutter() {
 	}
 	p := q.putters[0]
 	q.putters = q.putters[1:]
-	q.items = append(q.items, p.item)
-	if len(q.items) > q.maxOccupancy {
-		q.maxOccupancy = len(q.items)
-	}
+	q.pushItem(p.item)
 	q.recordWait(p.parked)
 	if p.done != nil {
 		p.done()
@@ -191,7 +210,7 @@ func (q *TokenQueue) ResourceStats() ResourceStats {
 		Ops:          q.puts,
 		Wait:         q.waitTime,
 		Stalls:       q.putWaits + q.getWaits,
-		Occupancy:    len(q.items),
+		Occupancy:    q.Len(),
 		MaxOccupancy: q.maxOccupancy,
 		WaitHist:     q.waitHist,
 	}

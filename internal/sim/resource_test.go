@@ -10,7 +10,7 @@ import (
 // dead events until their nominal time.
 func TestCancelRemovesFromHeap(t *testing.T) {
 	eng := NewEngine()
-	var evs []*Event
+	var evs []EventHandle
 	for i := 0; i < 100; i++ {
 		evs = append(evs, eng.At(Time(1000+i), func() { t.Error("cancelled event fired") }))
 	}
