@@ -5,10 +5,14 @@
 #   make bench       — root + sim benchmarks with allocation stats
 #   make bench-smoke — 1x pass over every benchmark, so benchmark code
 #                      compiles and runs in CI without paying full benchtime
+#   make metrics-smoke — end-to-end observability check: run reachsim with
+#                      -metrics/-spans/-trace and validate the CSV schema,
+#                      the Chrome-trace JSON and the bottleneck report
 
 GO ?= go
+SMOKE_DIR := metrics-smoke-out
 
-.PHONY: check fmt-check build vet test race bench bench-smoke
+.PHONY: check fmt-check build vet test race bench bench-smoke metrics-smoke
 
 check: fmt-check build vet race
 
@@ -37,3 +41,14 @@ bench:
 bench-smoke:
 	$(GO) test -bench . -benchtime 1x -benchmem -run '^$$' ./internal/sim/
 	$(GO) test -bench BenchmarkFullEvaluation -benchtime 1x -run '^$$' .
+
+# End-to-end observability smoke: a sampled experiment sweep (CSV dump +
+# bottleneck tables) and an instrumented trace (counter lanes + GAM spans),
+# then schema/JSON validation via the env-gated test in cmd/reachsim.
+metrics-smoke:
+	rm -rf $(SMOKE_DIR) && mkdir -p $(SMOKE_DIR)
+	$(GO) run ./cmd/reachsim -exp fig9 -metrics $(SMOKE_DIR)/metrics.csv \
+		-metrics-interval 200us -spans > $(SMOKE_DIR)/report.txt
+	$(GO) run ./cmd/reachsim -trace $(SMOKE_DIR)/trace.json -spans \
+		-metrics-interval 500us
+	METRICS_SMOKE_DIR=$$PWD/$(SMOKE_DIR) $(GO) test -run TestMetricsSmokeArtifacts -v ./cmd/reachsim/

@@ -26,8 +26,10 @@ import (
 	"repro/internal/config"
 	"repro/internal/energy"
 	"repro/internal/experiments"
+	"repro/internal/metrics"
 	"repro/internal/report"
 	"repro/internal/runner"
+	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -51,8 +53,17 @@ func main() {
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile (post-GC) to this file on exit")
 		benchOut  = flag.String("benchout", "", "write a JSON wall-clock summary of the experiments to this file")
+		metricsF  = flag.String("metrics", "", "sample every run's resources and write the time series here (CSV, or JSON Lines when the path ends in .jsonl); also prints per-run bottleneck-attribution tables")
+		metricsIv = flag.Duration("metrics-interval", 0, "simulated-time sampling period for -metrics (default 10µs)")
+		spans     = flag.Bool("spans", false, "record GAM decision spans (merged into -trace timelines and .jsonl metrics dumps)")
+		progress  = flag.Bool("progress", false, "print per-run progress counters to stderr as experiments execute")
 	)
 	flag.Parse()
+
+	mo := metrics.Options{Spans: *spans}
+	if *metricsIv > 0 {
+		mo.Interval = sim.Time(metricsIv.Nanoseconds()) * sim.Nanosecond
+	}
 
 	// Profiling wraps whichever mode runs below, so profiling the full
 	// evaluation (`-exp all -cpuprofile cpu.pb.gz`) needs no custom build.
@@ -98,7 +109,11 @@ func main() {
 	}
 
 	if *tracePath != "" {
-		if err := writeTrace(*tracePath); err != nil {
+		var rec *metrics.Options
+		if *metricsF != "" || *spans || *metricsIv > 0 {
+			rec = &mo
+		}
+		if err := writeTrace(*tracePath, rec, *metricsF); err != nil {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "trace written to %s (open in chrome://tracing or Perfetto)\n", *tracePath)
@@ -128,27 +143,75 @@ func main() {
 	if *exp == "all" {
 		ids = experimentIDs
 	}
-	if err := runAll(os.Stdout, ids, cfg, m, *jobs, *csvOut, *benchOut); err != nil {
+	ra := runAllOptions{
+		jobs:     *jobs,
+		csv:      *csvOut,
+		benchOut: *benchOut,
+		progress: *progress,
+	}
+	if *metricsF != "" {
+		ra.metricsPath = *metricsF
+		ra.metrics = &mo
+	}
+	if err := runAll(os.Stdout, ids, cfg, m, ra); err != nil {
 		fatal(err)
 	}
+}
+
+// runAllOptions are the execution/output knobs of runAll, beyond what to
+// run: concurrency, output format, wall-clock summary, observability.
+type runAllOptions struct {
+	jobs     int
+	csv      bool
+	benchOut string
+	progress bool
+	// metrics/metricsPath, when set, sample every RunSpec-based run and
+	// write the combined time series to metricsPath (CSV, or JSONL for
+	// .jsonl paths), plus a bottleneck-attribution table per sampled run.
+	metrics     *metrics.Options
+	metricsPath string
+}
+
+// obsEntry is one sampled run: the experiment it belongs to, the run name,
+// and its result (carrying the recorder).
+type obsEntry struct {
+	exp string
+	run string
+	res *experiments.RunResult
 }
 
 // runAll executes the experiments concurrently on a shared simulation pool
 // and emits their tables in id order. The pool bounds the total number of
 // in-flight simulations at -j across all experiments (every experiment's
 // internal sweep draws from the same budget), so the output is identical
-// for any -j: tables are collected per experiment and printed in order.
-func runAll(w io.Writer, ids []string, cfg config.SystemConfig, m workload.Model, jobs int, csv bool, benchOut string) error {
-	pool := runner.NewPool(jobs)
+// for any -j: tables are collected per experiment and printed in order,
+// and sampled metrics are collected per experiment in spec order.
+func runAll(w io.Writer, ids []string, cfg config.SystemConfig, m workload.Model, o runAllOptions) error {
+	pool := runner.NewPool(o.jobs)
 	start := time.Now()
 	secs := make([]float64, len(ids)) // each index written by exactly one worker
+	obs := make([][]obsEntry, len(ids))
 	// The outer fan-out is unbounded: experiments only hold pool slots
 	// while leaf simulations run, so len(ids) goroutines cost nothing and
 	// a bounded outer layer could not deadlock the inner sweeps anyway.
 	results, err := runner.Map(context.Background(), runner.Options{Workers: len(ids)}, ids,
 		func(_ context.Context, i int, id string) ([]*report.Table, error) {
+			opts := []experiments.Option{experiments.WithPool(pool)}
+			if o.progress {
+				opts = append(opts, experiments.WithProgress(func(done, total int, name string) {
+					fmt.Fprintf(os.Stderr, "[%s] %d/%d %s\n", id, done, total, name)
+				}))
+			}
+			if o.metrics != nil {
+				// The observe callback runs serially per experiment after
+				// its runs complete, so obs[i] needs no lock.
+				opts = append(opts, experiments.WithMetrics(*o.metrics,
+					func(run string, res *experiments.RunResult) {
+						obs[i] = append(obs[i], obsEntry{exp: id, run: run, res: res})
+					}))
+			}
 			t0 := time.Now()
-			tables, err := run(id, cfg, m, experiments.WithPool(pool))
+			tables, err := run(id, cfg, m, opts...)
 			secs[i] = time.Since(t0).Seconds()
 			return tables, err
 		})
@@ -158,16 +221,63 @@ func runAll(w io.Writer, ids []string, cfg config.SystemConfig, m workload.Model
 	total := time.Since(start).Seconds()
 	for _, tables := range results {
 		for _, t := range tables {
+			if err := emit(t, w, o.csv); err != nil {
+				return err
+			}
+		}
+	}
+	if o.metricsPath != "" {
+		if err := writeMetrics(w, o.metricsPath, obs, o.csv); err != nil {
+			return err
+		}
+	}
+	if o.benchOut != "" {
+		if err := writeBenchOut(o.benchOut, ids, secs, total, o.jobs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeMetrics dumps every sampled run's time series to path (CSV, or
+// JSONL when the path ends in .jsonl) and emits one bottleneck-attribution
+// table per run on w. Entries are ordered (experiment id order, spec
+// order), so output is identical for any -j.
+func writeMetrics(w io.Writer, path string, obs [][]obsEntry, csv bool) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	jsonl := strings.HasSuffix(path, ".jsonl")
+	cw := metrics.NewCSVWriter(f)
+	jw := metrics.NewJSONLWriter(f)
+	sampled := 0
+	for _, entries := range obs {
+		for _, e := range entries {
+			label := e.exp + "/" + e.run
+			if jsonl {
+				err = jw.WriteRun(label, e.res.Obs)
+			} else {
+				err = cw.WriteRun(label, e.res.Obs.Sampler)
+			}
+			if err != nil {
+				return err
+			}
+			sampled++
+			atts := metrics.Attribute(e.res.Obs.Sampler, e.res.PhaseWindows())
+			t := report.Bottleneck("Bottleneck attribution — "+label, atts)
 			if err := emit(t, w, csv); err != nil {
 				return err
 			}
 		}
 	}
-	if benchOut != "" {
-		if err := writeBenchOut(benchOut, ids, secs, total, jobs); err != nil {
+	if !jsonl {
+		if err := cw.Flush(); err != nil {
 			return err
 		}
 	}
+	fmt.Fprintf(os.Stderr, "metrics for %d runs written to %s\n", sampled, path)
 	return nil
 }
 
@@ -314,25 +424,46 @@ func emit(t *report.Table, w io.Writer, csv bool) error {
 	return t.Render(w)
 }
 
-// writeTrace runs an 8-batch ReACH pipeline and dumps its timeline.
-func writeTrace(path string) error {
-	run, err := experiments.RunPipeline(workload.DefaultModel(), experiments.ReACHMapping(), 4, 8)
+// writeTrace runs an 8-batch ReACH pipeline and dumps its timeline. With a
+// non-nil metrics option the run is sampled: counter lanes and (when
+// enabled) GAM decision spans are merged into the trace, and the raw time
+// series additionally lands at metricsPath when set.
+func writeTrace(path string, mo *metrics.Options, metricsPath string) error {
+	spec := experiments.PipelineSpec("pipeline", workload.DefaultModel(), experiments.ReACHMapping(), 4, 8)
+	spec.Metrics = mo
+	run, err := spec.Run()
 	if err != nil {
 		return err
 	}
 	tl := trace.NewTimeline()
-	for _, j := range run.Jobs {
-		if err := tl.AddJob(j); err != nil {
-			return err
+	// Keep every traceable job even when one errors; surface the first
+	// failure after the timeline is as complete as it can be.
+	addErr := tl.AddJobs(run.Jobs)
+	tl.AddResources(run.Sys.Engine().Stats(), run.Sys.Engine().Now())
+	if run.Obs != nil {
+		tl.AddCounters(run.Obs.Sampler)
+		if run.Obs.Spans != nil {
+			tl.AddSpans(run.Obs.Spans)
+		}
+		if metricsPath != "" {
+			if err := writeMetrics(os.Stdout, metricsPath,
+				[][]obsEntry{{{exp: "trace", run: spec.Name, res: run}}}, false); err != nil {
+				return err
+			}
 		}
 	}
-	tl.AddResources(run.Sys.Engine().Stats(), run.Sys.Engine().Now())
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	return tl.WriteJSON(f)
+	if err := tl.WriteJSON(f); err != nil {
+		return err
+	}
+	if addErr != nil {
+		return fmt.Errorf("trace written incomplete: %w", addErr)
+	}
+	return nil
 }
 
 func fatal(err error) {

@@ -1,11 +1,14 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
 	"sort"
 	"strings"
 	"testing"
 
 	"repro/internal/config"
+	"repro/internal/metrics"
 	"repro/internal/workload"
 )
 
@@ -78,7 +81,46 @@ func TestRunUnknownID(t *testing.T) {
 
 func TestWriteTrace(t *testing.T) {
 	path := t.TempDir() + "/trace.json"
-	if err := writeTrace(path); err != nil {
+	if err := writeTrace(path, nil, ""); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestWriteTraceWithMetrics exercises the instrumented trace path: counter
+// lanes and GAM spans merged into the timeline, plus the raw CSV dump.
+func TestWriteTraceWithMetrics(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := dir + "/trace.json"
+	csvPath := dir + "/metrics.csv"
+	if err := writeTrace(tracePath, &metrics.Options{Spans: true}, csvPath); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(raw, &events); err != nil {
+		t.Fatalf("trace is not valid Chrome-trace JSON: %v", err)
+	}
+	var counters, spans int
+	for _, e := range events {
+		switch e["ph"] {
+		case "C":
+			counters++
+		case "X":
+			if cat, _ := e["cat"].(string); strings.HasPrefix(cat, "gam.") {
+				spans++
+			}
+		}
+	}
+	if counters == 0 {
+		t.Error("no counter events merged into trace")
+	}
+	if spans == 0 {
+		t.Error("no GAM spans merged into trace")
+	}
+	if _, err := os.Stat(csvPath); err != nil {
+		t.Errorf("metrics CSV not written: %v", err)
 	}
 }

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+// TestMetricsSmokeArtifacts validates the files `make metrics-smoke`
+// produced: the CSV time-series schema, the Chrome-trace JSON (counters
+// and GAM spans present), and the bottleneck-attribution report. Skipped
+// unless METRICS_SMOKE_DIR points at the smoke output directory.
+func TestMetricsSmokeArtifacts(t *testing.T) {
+	dir := os.Getenv("METRICS_SMOKE_DIR")
+	if dir == "" {
+		t.Skip("METRICS_SMOKE_DIR not set; run via `make metrics-smoke`")
+	}
+
+	t.Run("csv-schema", func(t *testing.T) {
+		f, err := os.Open(filepath.Join(dir, "metrics.csv"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		r := csv.NewReader(f)
+		header, err := r.Read()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := metrics.CSVHeader()
+		if strings.Join(header, ",") != strings.Join(want, ",") {
+			t.Fatalf("CSV header %v, want %v", header, want)
+		}
+		rows := 0
+		lastTime := map[string]float64{} // per run: time_us must be non-decreasing
+		for {
+			row, err := r.Read()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatalf("row %d: %v", rows, err)
+			}
+			rows++
+			ts, err := strconv.ParseFloat(row[2], 64)
+			if err != nil {
+				t.Fatalf("row %d bad time_us %q", rows, row[2])
+			}
+			if prev, ok := lastTime[row[0]]; ok && ts < prev {
+				t.Fatalf("row %d: time_us went backwards within run %s", rows, row[0])
+			}
+			lastTime[row[0]] = ts
+			for _, col := range []int{5, 6, 7, 10} { // occupancy/ops/bytes/stalls
+				if _, err := strconv.ParseUint(row[col], 10, 64); err != nil {
+					t.Fatalf("row %d col %d not an integer: %q", rows, col, row[col])
+				}
+			}
+		}
+		if rows == 0 {
+			t.Fatal("CSV has no data rows")
+		}
+		if len(lastTime) < 2 {
+			t.Fatalf("expected multiple sampled runs, got %d", len(lastTime))
+		}
+	})
+
+	t.Run("trace-json", func(t *testing.T) {
+		raw, err := os.ReadFile(filepath.Join(dir, "trace.json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var events []map[string]any
+		if err := json.Unmarshal(raw, &events); err != nil {
+			t.Fatalf("trace is not valid Chrome-trace JSON: %v", err)
+		}
+		var counters, spans, slices int
+		for _, e := range events {
+			switch e["ph"] {
+			case "C":
+				counters++
+			case "X":
+				slices++
+				if cat, _ := e["cat"].(string); strings.HasPrefix(cat, "gam.") {
+					spans++
+				}
+			}
+		}
+		if counters == 0 || spans == 0 || slices == 0 {
+			t.Fatalf("trace missing event classes: %d counters, %d gam spans, %d slices",
+				counters, spans, slices)
+		}
+	})
+
+	t.Run("bottleneck-report", func(t *testing.T) {
+		raw, err := os.ReadFile(filepath.Join(dir, "report.txt"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := string(raw)
+		if !strings.Contains(out, "Bottleneck attribution") {
+			t.Fatal("report has no bottleneck-attribution tables")
+		}
+		if !strings.Contains(out, "crit_path") {
+			t.Fatal("bottleneck table missing critical-path column")
+		}
+	})
+}

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"repro/internal/accel"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 )
 
@@ -37,7 +38,18 @@ type GAM struct {
 
 	// Stats — the observable behaviour of the Fig. 5 machinery.
 	stats GAMStats
+
+	// spans, when non-nil, receives structured decision spans (dispatch
+	// causes, reconfigurations, poll gaps, stream stalls). Nil — the
+	// default — keeps every hook down to a single pointer check.
+	spans *metrics.SpanLog
 }
+
+// SetSpanLog attaches a span log; pass nil to disable instrumentation.
+func (g *GAM) SetSpanLog(l *metrics.SpanLog) { g.spans = l }
+
+// SpanLog reports the attached span log (nil when spans are disabled).
+func (g *GAM) SpanLog() *metrics.SpanLog { return g.spans }
 
 // Event phase tags for TaskNode.Fire. A node's lifecycle events all use the
 // node itself as the preallocated handler; the phase (and, for deliveries,
@@ -71,9 +83,7 @@ func (n *TaskNode) Fire(_ *sim.Engine, arg uint64) {
 	case nodeStream:
 		g.streamDeliver(n, n.dependents[arg>>nodePhaseBits])
 	case nodeCollect:
-		buf := g.streamBuf(n.Level, accel.CPU)
-		buf.Put(n, nil)
-		buf.Get(g.closeCB)
+		g.streamPass(g.streamBuf(n.Level, accel.CPU), n, g.closeCB)
 	}
 }
 
@@ -227,17 +237,26 @@ func (g *GAM) dispatchAll() {
 		rest := q[:0]
 		for _, n := range q {
 			if gate != nil && n.job != gate {
+				if g.spans != nil {
+					n.blockCause = metrics.CauseJobGate
+				}
 				rest = append(rest, n)
 				continue
 			}
 			if now := g.sys.eng.Now(); n.NotBefore > now {
 				// Input still in flight: revisit when it lands.
 				g.sys.eng.AtCall(n.NotBefore, g, gamArm)
+				if g.spans != nil {
+					n.blockCause = metrics.CauseInputInFlight
+				}
 				rest = append(rest, n)
 				continue
 			}
 			acc := g.pickIdle(level, n.Pin)
 			if acc == nil {
+				if g.spans != nil {
+					n.blockCause = metrics.CauseNoIdleInstance
+				}
 				rest = append(rest, n)
 				continue
 			}
@@ -296,6 +315,20 @@ func (g *GAM) dispatch(n *TaskNode, a accel.Accelerator) {
 	n.DispatchedAt = g.sys.eng.Now()
 	g.stats.TasksDispatched++
 	g.stats.CommandPackets++
+	if g.spans != nil {
+		// The dispatch span covers ready-instant to command send; the cause
+		// names the last reason the node sat in the queue (or "immediate").
+		cause := n.blockCause
+		if cause == "" || n.DispatchedAt == n.ReadyAt {
+			cause = metrics.CauseImmediate
+		}
+		n.blockCause = ""
+		g.spans.Add(metrics.Span{
+			Cat: metrics.CatDispatch, Name: n.Spec.Name, Lane: a.Name(),
+			Cause: cause, Start: n.ReadyAt, End: n.DispatchedAt,
+			Job: n.job.ID, V: int64(len(g.claimed)),
+		})
+	}
 
 	cl := g.sys.gamCommandLatency()
 	n.acc = a
@@ -309,8 +342,18 @@ func (g *GAM) execute(n *TaskNode) {
 	// Configure the fabric (partial reconfiguration when a different
 	// kernel was resident; the delay follows fpga.Fabric's setting —
 	// zero by default, as in the paper's evaluation §VI-A).
-	if _, err := a.Fabric().Load(n.Spec.Kernel); err != nil {
+	fab := a.Fabric()
+	reconfigsBefore := fab.Reconfigs()
+	ready, err := fab.Load(n.Spec.Kernel)
+	if err != nil {
 		panic(fmt.Sprintf("core: kernel/device mismatch on %s: %v", a.Name(), err))
+	}
+	if g.spans != nil && fab.Reconfigs() != reconfigsBefore {
+		g.spans.Add(metrics.Span{
+			Cat: metrics.CatReconfig, Name: n.Spec.Kernel.Name, Lane: a.Name(),
+			Cause: metrics.CauseReconfig, Start: g.sys.eng.Now(), End: ready,
+			Job: n.job.ID, V: int64(fab.Reconfigs()),
+		})
 	}
 	done, err := a.Execute(&n.Spec)
 	if err != nil {
@@ -371,6 +414,15 @@ func (g *GAM) finish(n *TaskNode, a accel.Accelerator) {
 	n.state = NodeDone
 	n.DetectedAt = g.sys.eng.Now()
 	delete(g.claimed, a)
+	if g.spans != nil && n.Polls > 0 && n.DetectedAt > n.CompletedAt {
+		// Poll-detection gap: the window between device completion and the
+		// GAM noticing it through status polling (non-coherent levels).
+		g.spans.Add(metrics.Span{
+			Cat: metrics.CatPollGap, Name: n.Spec.Name, Lane: a.Name(),
+			Cause: metrics.CauseStatusPoll, Start: n.CompletedAt,
+			End: n.DetectedAt, Job: n.job.ID, V: int64(n.Polls),
+		})
+	}
 
 	// Forward outputs to each dependent (stream enqueue, duplicated per
 	// destination for broadcast semantics). Data-carrying forwards pass
@@ -410,9 +462,30 @@ func (g *GAM) finish(n *TaskNode, a accel.Accelerator) {
 // through the src→dst stream buffer (put/get complete in the same instant;
 // the transfer time was already paid) and the dependency releases.
 func (g *GAM) streamDeliver(n, dep *TaskNode) {
-	buf := g.streamBuf(n.Level, dep.Level)
-	buf.Put(dep, nil)
-	buf.Get(g.deliverCB)
+	g.streamPass(g.streamBuf(n.Level, dep.Level), dep, g.deliverCB)
+}
+
+// streamPass pushes item through buf's put/get pair. With spans enabled it
+// watches the buffer's park counter across the put: an increment means the
+// producer hit a full buffer (back-pressure), recorded as a stall span.
+func (g *GAM) streamPass(buf *sim.TokenQueue, item *TaskNode, consume func(any)) {
+	if g.spans == nil {
+		buf.Put(item, nil)
+		buf.Get(consume)
+		return
+	}
+	parksBefore := buf.PutWaits()
+	start := g.sys.eng.Now()
+	buf.Put(item, nil)
+	buf.Get(consume)
+	if buf.PutWaits() != parksBefore {
+		g.spans.Add(metrics.Span{
+			Cat: metrics.CatStreamStall, Name: buf.Name(), Lane: "GAM",
+			Cause: metrics.CauseStreamBackpressure,
+			Start: start, End: g.sys.eng.Now(),
+			Job: item.job.ID, V: int64(buf.MaxOccupancy()),
+		})
+	}
 }
 
 // deliver releases one dependency edge into dep.

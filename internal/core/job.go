@@ -71,6 +71,11 @@ type TaskNode struct {
 	acc      accel.Accelerator
 	estimate sim.Time
 
+	// blockCause remembers why the latest dispatch pass skipped this ready
+	// node — the cause tag the eventual dispatch span carries. Only written
+	// when span instrumentation is enabled.
+	blockCause string
+
 	// Timeline, filled in by the GAM.
 	ReadyAt      sim.Time
 	DispatchedAt sim.Time

@@ -50,6 +50,37 @@ func StageSpec(stage string, l accel.Level, n int, m workload.Model) (RunSpec, e
 	}, nil
 }
 
+// NearMemInterleavedSpec is the shortlist stage at near-memory with the
+// database interleaved across all n DIMMs instead of partitioned
+// DIMM-locally: each instance finds (n-1)/n of its scan bytes on remote
+// DIMMs and pulls them across the shared AIMbus. The configuration the
+// bottleneck-attribution report is validated against — with the whole scan
+// crossing one 12.8 GB/s bus, "mem.aimbus" must surface as the
+// top-pressure resource.
+func NearMemInterleavedSpec(n int, m workload.Model) (RunSpec, error) {
+	spec, err := StageSpec(StageSL, accel.NearMemory, n, m)
+	if err != nil {
+		return RunSpec{}, err
+	}
+	if n < 2 {
+		return RunSpec{}, fmt.Errorf("experiments: interleaving needs >= 2 DIMMs, got %d", n)
+	}
+	spec.Name = fmt.Sprintf("%s@%v/%d-interleaved", StageSL, accel.NearMemory, n)
+	inner := spec.BuildJob
+	spec.BuildJob = func(sys *core.System, id int) (*core.Job, error) {
+		j, err := inner(sys, id)
+		if err != nil {
+			return nil, err
+		}
+		rf := float64(n-1) / float64(n)
+		for _, node := range j.Nodes {
+			node.Spec.RemoteFraction = rf
+		}
+		return j, nil
+	}
+	return spec, nil
+}
+
 // stageResult reduces one isolated-stage run to a Figs. 9-11 cell.
 func stageResult(l accel.Level, n int, run *RunResult) *StageResult {
 	return &StageResult{

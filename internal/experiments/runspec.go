@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -55,6 +56,13 @@ type RunSpec struct {
 	Background BackgroundMode
 	// BackgroundLabel is the stage label for BackgroundFirstLatency.
 	BackgroundLabel string
+
+	// Metrics, when non-nil, attaches a time-resolved observability
+	// recorder to the run: a periodic registry sampler and (when
+	// Metrics.Spans is set) the GAM decision-span log. The recorder rides
+	// back on RunResult.Obs. Nil — the default — leaves the run entirely
+	// uninstrumented, so results are byte-identical to pre-metrics builds.
+	Metrics *metrics.Options
 }
 
 // BackgroundMode is a RunSpec's background-energy attribution policy,
@@ -109,6 +117,12 @@ func (s RunSpec) Run() (*RunResult, error) {
 		}
 	}
 	res := &RunResult{Sys: sys, Batches: s.Batches, StageSpan: make(map[string]sim.Time)}
+	if s.Metrics != nil {
+		res.Obs = metrics.Attach(sys.Engine(), *s.Metrics)
+		if res.Obs.Spans != nil {
+			sys.GAM().SetSpanLog(res.Obs.Spans)
+		}
+	}
 	for b := 0; b < s.Batches; b++ {
 		j, err := build(sys, b)
 		if err != nil {
@@ -129,6 +143,9 @@ func (s RunSpec) Run() (*RunResult, error) {
 		res.Jobs = append(res.Jobs, j)
 	}
 	sys.Run()
+	if res.Obs != nil {
+		res.Obs.Finish()
+	}
 
 	for _, j := range res.Jobs {
 		if !j.Done() {
@@ -199,6 +216,8 @@ type runOptions struct {
 	workers  int
 	pool     *runner.Pool
 	progress func(done, total int, name string)
+	metrics  *metrics.Options
+	observe  func(run string, res *RunResult)
 }
 
 // Option adjusts how an experiment executes its runs (not what it
@@ -223,6 +242,21 @@ func WithProgress(fn func(done, total int, name string)) Option {
 	return func(o *runOptions) { o.progress = fn }
 }
 
+// WithMetrics attaches a time-resolved observability recorder to every
+// RunSpec of the experiment that does not already carry one, and — after
+// all runs complete — reports each sampled result through observe, in spec
+// order (deterministic regardless of worker count). observe may be nil
+// when the caller reads recorders off the experiment's own result type.
+// Experiments whose unit of work is not a RunSpec (recall sweep,
+// motivation, buffer ablation) have no simulation engine to sample and
+// ignore this option.
+func WithMetrics(mo metrics.Options, observe func(run string, res *RunResult)) Option {
+	return func(o *runOptions) {
+		o.metrics = &mo
+		o.observe = observe
+	}
+}
+
 func buildOptions(opts []Option) runOptions {
 	o := runOptions{ctx: context.Background()}
 	for _, fn := range opts {
@@ -245,8 +279,26 @@ func (o runOptions) runnerOptions(name func(i int) string) runner.Options {
 // failing spec cancels the rest.
 func RunSpecs(specs []RunSpec, opts ...Option) ([]*RunResult, error) {
 	o := buildOptions(opts)
-	return runner.Map(o.ctx, o.runnerOptions(func(i int) string { return specs[i].name() }), specs,
+	if o.metrics != nil {
+		// Copy before instrumenting: the caller's slice stays untouched.
+		instrumented := append([]RunSpec(nil), specs...)
+		for i := range instrumented {
+			if instrumented[i].Metrics == nil {
+				instrumented[i].Metrics = o.metrics
+			}
+		}
+		specs = instrumented
+	}
+	res, err := runner.Map(o.ctx, o.runnerOptions(func(i int) string { return specs[i].name() }), specs,
 		func(_ context.Context, _ int, s RunSpec) (*RunResult, error) { return s.Run() })
+	if err == nil && o.observe != nil {
+		for i, r := range res {
+			if r != nil && r.Obs != nil {
+				o.observe(specs[i].name(), r)
+			}
+		}
+	}
+	return res, err
 }
 
 // mapRuns fans an arbitrary per-item function over the runner with the

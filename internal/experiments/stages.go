@@ -11,6 +11,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/energy"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/storage"
 	"repro/internal/workload"
@@ -222,6 +223,49 @@ type RunResult struct {
 	StageSpan map[string]sim.Time
 	// Jobs holds the completed jobs in submission order.
 	Jobs []*core.Job
+	// Obs is the run's observability recorder — nil unless the spec set
+	// Metrics (see RunSpec.Metrics).
+	Obs *metrics.Recorder
+}
+
+// PhaseWindows reduces the run to attribution phases: one window per
+// pipeline stage (earliest dispatch to latest GAM detection across every
+// job, first-seen stage order) plus a closing "run" window covering
+// first-submit to last-finish. Empty before the run completes.
+func (r *RunResult) PhaseWindows() []metrics.PhaseWindow {
+	type span struct{ lo, hi sim.Time }
+	byStage := map[string]*span{}
+	var order []string
+	for _, j := range r.Jobs {
+		for _, n := range j.Nodes {
+			st := n.Spec.Stage
+			sp, ok := byStage[st]
+			if !ok {
+				byStage[st] = &span{lo: n.DispatchedAt, hi: n.DetectedAt}
+				order = append(order, st)
+				continue
+			}
+			if n.DispatchedAt < sp.lo {
+				sp.lo = n.DispatchedAt
+			}
+			if n.DetectedAt > sp.hi {
+				sp.hi = n.DetectedAt
+			}
+		}
+	}
+	out := make([]metrics.PhaseWindow, 0, len(order)+1)
+	for _, st := range order {
+		sp := byStage[st]
+		out = append(out, metrics.PhaseWindow{Name: st, Start: sp.lo, End: sp.hi})
+	}
+	if len(r.Jobs) > 0 {
+		out = append(out, metrics.PhaseWindow{
+			Name:  "run",
+			Start: r.Jobs[0].SubmittedAt,
+			End:   r.Jobs[0].SubmittedAt + r.Makespan,
+		})
+	}
+	return out
 }
 
 // ThroughputBatchesPerSec reports steady-state throughput.

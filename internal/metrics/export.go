@@ -1,0 +1,158 @@
+package metrics
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// csvHeader is the stable schema of the time-series CSV dump. The
+// metrics-smoke CI target validates files against it.
+var csvHeader = []string{
+	"run", "sample", "time_us", "resource", "kind",
+	"occupancy", "ops", "bytes", "busy_us", "wait_us", "stalls",
+}
+
+// CSVHeader returns a copy of the CSV schema (for validators).
+func CSVHeader() []string {
+	return append([]string(nil), csvHeader...)
+}
+
+// CSVWriter streams one or more runs' sampler series as CSV: one row per
+// (sample instant, resource), resources in sorted registry order within
+// each sample so the output is diffable.
+type CSVWriter struct {
+	cw          *csv.Writer
+	wroteHeader bool
+}
+
+// NewCSVWriter wraps w.
+func NewCSVWriter(w io.Writer) *CSVWriter {
+	return &CSVWriter{cw: csv.NewWriter(w)}
+}
+
+// WriteRun appends every sample of one run, labelled run in the first
+// column. The header is written once, before the first row.
+func (c *CSVWriter) WriteRun(run string, s *Sampler) error {
+	if !c.wroteHeader {
+		if err := c.cw.Write(csvHeader); err != nil {
+			return err
+		}
+		c.wroteHeader = true
+	}
+	series := s.Series() // sorted by name
+	for i := 0; i < s.Samples(); i++ {
+		t := s.Time(i)
+		for _, se := range series {
+			j := i - se.Start()
+			if j < 0 || j >= se.Len() {
+				continue // resource registered after this instant
+			}
+			p := se.At(j)
+			err := c.cw.Write([]string{
+				run,
+				fmt.Sprintf("%d", i),
+				fmt.Sprintf("%.3f", t.Microseconds()),
+				se.Name,
+				string(se.Kind),
+				fmt.Sprintf("%d", p.Occupancy),
+				fmt.Sprintf("%d", p.Ops),
+				fmt.Sprintf("%d", p.Bytes),
+				fmt.Sprintf("%.3f", p.Busy.Microseconds()),
+				fmt.Sprintf("%.3f", p.Wait.Microseconds()),
+				fmt.Sprintf("%d", p.Stalls),
+			})
+			if err != nil {
+				return err
+			}
+		}
+	}
+	c.cw.Flush()
+	return c.cw.Error()
+}
+
+// Flush flushes buffered rows and reports any write error.
+func (c *CSVWriter) Flush() error {
+	c.cw.Flush()
+	return c.cw.Error()
+}
+
+// jsonSample is the JSONL shape of one (sample, resource) point.
+type jsonSample struct {
+	Run       string  `json:"run"`
+	Type      string  `json:"type"` // "sample"
+	Sample    int     `json:"sample"`
+	TimeUS    float64 `json:"time_us"`
+	Resource  string  `json:"resource"`
+	Kind      string  `json:"kind"`
+	Occupancy int     `json:"occupancy"`
+	Ops       uint64  `json:"ops"`
+	Bytes     uint64  `json:"bytes"`
+	BusyUS    float64 `json:"busy_us"`
+	WaitUS    float64 `json:"wait_us"`
+	Stalls    uint64  `json:"stalls"`
+}
+
+// jsonSpan is the JSONL shape of one GAM span.
+type jsonSpan struct {
+	Run     string  `json:"run"`
+	Type    string  `json:"type"` // "span"
+	Cat     string  `json:"cat"`
+	Name    string  `json:"name"`
+	Lane    string  `json:"lane"`
+	Cause   string  `json:"cause"`
+	StartUS float64 `json:"start_us"`
+	EndUS   float64 `json:"end_us"`
+	Job     int     `json:"job"`
+	V       int64   `json:"v"`
+}
+
+// JSONLWriter streams runs as JSON Lines: every sampler point as a
+// {"type":"sample"} object (sorted resource order within a sample) and,
+// when the recorder carries a span log, every span as {"type":"span"}.
+type JSONLWriter struct {
+	enc *json.Encoder
+}
+
+// NewJSONLWriter wraps w.
+func NewJSONLWriter(w io.Writer) *JSONLWriter {
+	return &JSONLWriter{enc: json.NewEncoder(w)}
+}
+
+// WriteRun appends one run's samples and spans, labelled run.
+func (j *JSONLWriter) WriteRun(run string, r *Recorder) error {
+	s := r.Sampler
+	series := s.Series()
+	for i := 0; i < s.Samples(); i++ {
+		t := s.Time(i)
+		for _, se := range series {
+			k := i - se.Start()
+			if k < 0 || k >= se.Len() {
+				continue
+			}
+			p := se.At(k)
+			err := j.enc.Encode(jsonSample{
+				Run: run, Type: "sample", Sample: i, TimeUS: t.Microseconds(),
+				Resource: se.Name, Kind: string(se.Kind),
+				Occupancy: p.Occupancy, Ops: p.Ops, Bytes: p.Bytes,
+				BusyUS: p.Busy.Microseconds(), WaitUS: p.Wait.Microseconds(),
+				Stalls: p.Stalls,
+			})
+			if err != nil {
+				return err
+			}
+		}
+	}
+	for _, sp := range r.Spans.Spans() {
+		err := j.enc.Encode(jsonSpan{
+			Run: run, Type: "span", Cat: sp.Cat, Name: sp.Name, Lane: sp.Lane,
+			Cause: sp.Cause, StartUS: sp.Start.Microseconds(),
+			EndUS: sp.End.Microseconds(), Job: sp.Job, V: sp.V,
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,64 @@
+// Package metrics is the simulator's time-resolved observability layer.
+// Where the StatsRegistry reports end-of-run aggregates, this package
+// records *when* pressure built: a periodic Sampler scheduled on the sim
+// engine walks the registry every N sim-microseconds and appends one point
+// per resource to chunked columnar series, and a SpanLog collects the
+// GAM's structured decision spans (dispatch causes, reconfigurations,
+// poll-detection gaps, stream-buffer stalls).
+//
+// The layer is zero-cost when disabled — nothing is attached to the engine
+// and the model hot paths only pay a nil check — and allocation-free in
+// steady state when enabled: samples append into preallocated column
+// chunks and the registry walk is cached between registrations (see
+// TestSamplerZeroAllocSteadyState).
+//
+// Exporters live next to the consumers: trace.AddCounters/AddSpans merge
+// the series into the Chrome trace timeline as "C" counter lanes,
+// CSVWriter/JSONLWriter dump the raw time series, and Attribute reduces a
+// sampled run to a per-phase bottleneck attribution (rendered by
+// report.Bottleneck).
+package metrics
+
+import (
+	"repro/internal/sim"
+)
+
+// DefaultInterval is the sampling period used when Options.Interval is
+// unset: fine enough to resolve individual pipeline stages of the CBIR
+// workload (hundreds of µs to ms), coarse enough to stay cheap.
+const DefaultInterval = 10 * sim.Microsecond
+
+// Options selects what a run records.
+type Options struct {
+	// Interval is the sampling period in simulated time; <= 0 means
+	// DefaultInterval.
+	Interval sim.Time
+	// Spans enables the GAM decision-span log.
+	Spans bool
+}
+
+// Recorder bundles one run's observability state: the periodic registry
+// sampler and (when enabled) the GAM span log.
+type Recorder struct {
+	Sampler *Sampler
+	// Spans is nil unless Options.Spans was set.
+	Spans *SpanLog
+}
+
+// Attach creates a Recorder on eng and schedules the sampler's first tick.
+// Call Recorder.Finish after the simulation drains to take the closing
+// sample.
+func Attach(eng *sim.Engine, o Options) *Recorder {
+	r := &Recorder{Sampler: NewSampler(eng, o.Interval)}
+	if o.Spans {
+		r.Spans = NewSpanLog()
+	}
+	r.Sampler.Start()
+	return r
+}
+
+// Finish takes the closing sample (and cancels any pending tick). Call
+// once, after the run completes.
+func (r *Recorder) Finish() {
+	r.Sampler.Finish()
+}

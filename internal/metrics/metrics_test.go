@@ -1,0 +1,256 @@
+package metrics
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// tickLoad is a handler that occupies a link every period, count times —
+// a minimal workload that keeps the calendar busy while a sampler runs.
+type tickLoad struct {
+	link   *sim.Link
+	period sim.Time
+	left   int
+}
+
+func (l *tickLoad) Fire(eng *sim.Engine, _ uint64) {
+	l.link.Transfer(1 << 20)
+	l.left--
+	if l.left > 0 {
+		eng.ScheduleCall(l.period, l, 0)
+	}
+}
+
+func TestSamplerRecordsSeries(t *testing.T) {
+	eng := sim.NewEngine()
+	link := sim.NewLink(eng, "test.link", 1e9, 0)
+	load := &tickLoad{link: link, period: 50 * sim.Microsecond, left: 20}
+	eng.ScheduleCall(0, load, 0)
+
+	rec := Attach(eng, Options{Interval: 10 * sim.Microsecond})
+	eng.Run()
+	rec.Finish()
+
+	s := rec.Sampler
+	if s.Samples() < 10 {
+		t.Fatalf("expected many samples, got %d", s.Samples())
+	}
+	se, ok := s.Lookup("test.link")
+	if !ok {
+		t.Fatal("link series missing")
+	}
+	if se.Len() != s.Samples() {
+		t.Fatalf("series len %d != samples %d", se.Len(), s.Samples())
+	}
+	// Cumulative counters must be monotone.
+	for i := 1; i < se.Len(); i++ {
+		if se.At(i).Bytes < se.At(i-1).Bytes || se.At(i).Busy < se.At(i-1).Busy {
+			t.Fatalf("counters regressed at sample %d", i)
+		}
+	}
+	last := se.At(se.Len() - 1)
+	if last.Bytes != 20<<20 {
+		t.Fatalf("closing sample bytes = %d, want %d", last.Bytes, 20<<20)
+	}
+	// The closing sample must land at the end-of-run instant.
+	if got := s.Time(s.Samples() - 1); got != eng.Now() {
+		t.Fatalf("closing sample at %v, engine at %v", got, eng.Now())
+	}
+}
+
+// TestSamplerDoesNotKeepEngineAlive: an attached sampler must not prevent
+// Engine.Run from draining an otherwise finished simulation.
+func TestSamplerDoesNotKeepEngineAlive(t *testing.T) {
+	eng := sim.NewEngine()
+	link := sim.NewLink(eng, "test.link", 1e9, 0)
+	load := &tickLoad{link: link, period: sim.Microsecond, left: 3}
+	eng.ScheduleCall(0, load, 0)
+	rec := Attach(eng, Options{Interval: 10 * sim.Microsecond})
+	eng.Run() // must return
+	rec.Finish()
+	if eng.Pending() != 0 {
+		t.Fatalf("calendar not drained: %d pending", eng.Pending())
+	}
+}
+
+// TestSamplerMidRunRegistration: a resource registered after sampling
+// started gets a series offset by Start(), and exports line up with the
+// global time axis.
+func TestSamplerMidRunRegistration(t *testing.T) {
+	eng := sim.NewEngine()
+	link := sim.NewLink(eng, "a.early", 1e9, 0)
+	load := &tickLoad{link: link, period: 20 * sim.Microsecond, left: 10}
+	eng.ScheduleCall(0, load, 0)
+	var late *sim.Link
+	eng.At(95*sim.Microsecond, func() {
+		late = sim.NewLink(eng, "z.late", 1e9, 0)
+		late.Transfer(4096)
+	})
+	rec := Attach(eng, Options{Interval: 10 * sim.Microsecond})
+	eng.Run()
+	rec.Finish()
+
+	s := rec.Sampler
+	se, ok := s.Lookup("z.late")
+	if !ok {
+		t.Fatal("late series missing")
+	}
+	if se.Start() == 0 {
+		t.Fatal("late series should start after sample 0")
+	}
+	if se.Start()+se.Len() != s.Samples() {
+		t.Fatalf("late series not aligned: start %d + len %d != samples %d",
+			se.Start(), se.Len(), s.Samples())
+	}
+	if se.At(se.Len()-1).Bytes != 4096 {
+		t.Fatalf("late series bytes = %d, want 4096", se.At(se.Len()-1).Bytes)
+	}
+}
+
+// TestSamplerZeroAllocSteadyState is the tentpole's allocation gate: once
+// every chunk and series exists, taking a sample allocates nothing.
+func TestSamplerZeroAllocSteadyState(t *testing.T) {
+	eng := sim.NewEngine()
+	for _, n := range []string{"r.a", "r.b", "r.c", "r.d"} {
+		sim.NewLink(eng, n, 1e9, 0)
+	}
+	s := NewSampler(eng, 10*sim.Microsecond)
+	// Warm up: create series and first chunks.
+	for i := 0; i < 8; i++ {
+		s.sampleNow()
+	}
+	allocs := testing.AllocsPerRun(200, func() { s.sampleNow() })
+	if allocs > 0 {
+		t.Fatalf("sampleNow allocates %.1f/op in steady state, want 0", allocs)
+	}
+}
+
+func TestAttributePicksPressuredResource(t *testing.T) {
+	eng := sim.NewEngine()
+	hot := sim.NewLink(eng, "bus.hot", 1e6, 0) // 1 MB/s: saturated
+	sim.NewLink(eng, "bus.idle", 1e12, 0)      // never used
+	cold := sim.NewLink(eng, "bus.cold", 1e12, 0)
+	load := &tickLoad{link: hot, period: 10 * sim.Microsecond, left: 50}
+	eng.ScheduleCall(0, load, 0)
+	eng.At(0, func() { cold.Transfer(1) })
+	rec := Attach(eng, Options{Interval: 5 * sim.Microsecond})
+	eng.Run()
+	rec.Finish()
+
+	atts := Attribute(rec.Sampler, []PhaseWindow{{Name: "run", Start: 0, End: eng.Now()}})
+	if len(atts) != 1 {
+		t.Fatalf("got %d attributions", len(atts))
+	}
+	a := atts[0]
+	if a.Resource != "bus.hot" {
+		t.Fatalf("bottleneck = %q, want bus.hot (pressure %v)", a.Resource, a.Pressure)
+	}
+	if a.Pressure <= 0 || a.Share <= 0 || a.Share > 1 {
+		t.Fatalf("bad pressure/share: %v / %v", a.Pressure, a.Share)
+	}
+}
+
+func TestAttributeEmptyPhase(t *testing.T) {
+	eng := sim.NewEngine()
+	sim.NewLink(eng, "bus", 1e9, 0)
+	rec := Attach(eng, Options{})
+	eng.Run()
+	rec.Finish()
+	atts := Attribute(rec.Sampler, []PhaseWindow{
+		{Name: "empty", Start: 0, End: sim.Millisecond},
+		{Name: "degenerate", Start: 5, End: 5},
+	})
+	for _, a := range atts {
+		if a.Resource != "" || a.Pressure != 0 {
+			t.Fatalf("phase %q attributed %q with pressure %v, want none", a.Phase, a.Resource, a.Pressure)
+		}
+	}
+}
+
+func sampledRecorder(t *testing.T) *Recorder {
+	t.Helper()
+	eng := sim.NewEngine()
+	b := sim.NewLink(eng, "bus.b", 1e9, 0)
+	a := sim.NewLink(eng, "bus.a", 1e9, 0)
+	load := &tickLoad{link: a, period: 20 * sim.Microsecond, left: 5}
+	eng.ScheduleCall(0, load, 0)
+	eng.At(0, func() { b.Transfer(123) })
+	rec := Attach(eng, Options{Interval: 10 * sim.Microsecond, Spans: true})
+	rec.Spans.Add(Span{Cat: CatDispatch, Name: "t0", Lane: "acc0", Cause: CauseImmediate, Job: 1})
+	eng.Run()
+	rec.Finish()
+	return rec
+}
+
+// TestCSVWriterSortedAndWellFormed: rows parse under the declared header
+// and resources appear in sorted order within each sample.
+func TestCSVWriterSortedAndWellFormed(t *testing.T) {
+	rec := sampledRecorder(t)
+	var buf bytes.Buffer
+	cw := NewCSVWriter(&buf)
+	if err := cw.WriteRun("r0", rec.Sampler); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := strings.Join(rows[0], ","), strings.Join(CSVHeader(), ","); got != want {
+		t.Fatalf("header %q, want %q", got, want)
+	}
+	if len(rows) != 1+rec.Sampler.Samples()*2 {
+		t.Fatalf("row count %d, want %d", len(rows), 1+rec.Sampler.Samples()*2)
+	}
+	for i := 1; i < len(rows); i += 2 {
+		if rows[i][3] != "bus.a" || rows[i+1][3] != "bus.b" {
+			t.Fatalf("rows %d/%d not in sorted resource order: %q, %q", i, i+1, rows[i][3], rows[i+1][3])
+		}
+		if rows[i][1] != rows[i+1][1] {
+			t.Fatalf("rows %d/%d not the same sample", i, i+1)
+		}
+	}
+}
+
+func TestJSONLWriterShapes(t *testing.T) {
+	rec := sampledRecorder(t)
+	var buf bytes.Buffer
+	if err := NewJSONLWriter(&buf).WriteRun("r0", rec); err != nil {
+		t.Fatal(err)
+	}
+	var samples, spans int
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("bad JSONL line: %v", err)
+		}
+		switch m["type"] {
+		case "sample":
+			samples++
+		case "span":
+			spans++
+		default:
+			t.Fatalf("unknown line type %v", m["type"])
+		}
+	}
+	if samples != rec.Sampler.Samples()*2 {
+		t.Fatalf("sample lines %d, want %d", samples, rec.Sampler.Samples()*2)
+	}
+	if spans != 1 {
+		t.Fatalf("span lines %d, want 1", spans)
+	}
+}
+
+func TestSpanLogNilSafe(t *testing.T) {
+	var l *SpanLog
+	l.Add(Span{Cat: CatReconfig})
+	if l.Len() != 0 || l.Spans() != nil {
+		t.Fatal("nil SpanLog not inert")
+	}
+}

@@ -1,0 +1,37 @@
+package report
+
+import (
+	"repro/internal/metrics"
+)
+
+// Bottleneck renders per-phase bottleneck attributions — for each phase of
+// a sampled run, the resource under the highest normalized pressure and the
+// fraction of the phase's critical path attributable to it.
+func Bottleneck(title string, atts []metrics.Attribution) *Table {
+	t := &Table{
+		Title: title,
+		Columns: []string{
+			"phase", "window_ms", "bottleneck", "kind",
+			"busy_ms", "wait_ms", "pressure", "crit_path",
+		},
+	}
+	for _, a := range atts {
+		if a.Resource == "" {
+			t.AddRow(a.Phase, Ms(a.Window.Seconds()), "-", "-", "-", "-", "-", "-")
+			continue
+		}
+		t.AddRow(
+			a.Phase,
+			Ms(a.Window.Seconds()),
+			a.Resource,
+			string(a.Kind),
+			Ms(a.Busy.Seconds()),
+			Ms(a.Wait.Seconds()),
+			F(a.Pressure, 2),
+			Pct(a.Share),
+		)
+	}
+	t.AddNote("pressure = (busy+wait)/window; wait sums every queued waiter, so pressure > 1 means overlapping contention")
+	t.AddNote("crit_path = min(1, max(busy, wait)/window): the phase fraction attributable to the bottleneck resource")
+	return t
+}

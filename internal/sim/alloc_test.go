@@ -1,6 +1,9 @@
 package sim
 
-import "testing"
+import (
+	"sort"
+	"testing"
+)
 
 // These tests pin the allocation-free event hot path: schedule + dispatch
 // through ScheduleCall must not touch the heap once the engine is warmed
@@ -165,5 +168,29 @@ func TestStepReentrancyGuard(t *testing.T) {
 	}
 	if e.Executed() != 2 {
 		t.Errorf("executed = %d, want 2", e.Executed())
+	}
+}
+
+// TestRegistryWalkZeroAlloc: walking the registry allocates nothing in
+// steady state (the cached sorted order). The metrics sampler's zero-alloc
+// guarantee rests on this.
+func TestRegistryWalkZeroAlloc(t *testing.T) {
+	eng := NewEngine()
+	for _, n := range []string{"b.x", "a.y", "c.z", "a.a"} {
+		NewLink(eng, n, 1e9, 0)
+	}
+	var count int
+	fn := func(string, Resource) { count++ }
+	eng.Stats().Walk(fn) // first walk sorts
+	allocs := testing.AllocsPerRun(100, func() { eng.Stats().Walk(fn) })
+	if allocs > 0 {
+		t.Fatalf("Walk allocates %.1f/op in steady state, want 0", allocs)
+	}
+	// Registering afterwards re-sorts and keeps order correct.
+	NewLink(eng, "a.b", 1e9, 0)
+	var names []string
+	eng.Stats().Walk(func(n string, _ Resource) { names = append(names, n) })
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("walk order not sorted after late registration: %v", names)
 	}
 }

@@ -98,9 +98,19 @@ type Resource interface {
 // walk the registry instead of reaching into individual packages.
 //
 // Walk order is sorted by name, so registry-driven output is deterministic
-// regardless of construction order.
+// regardless of construction order. The sorted order is cached between
+// registrations: a periodic metrics sampler can walk the registry every
+// tick without re-sorting or allocating.
 type StatsRegistry struct {
-	byName map[string]Resource
+	byName  map[string]Resource
+	ordered []namedResource // sorted by name when `sorted` is true
+	sorted  bool
+}
+
+// namedResource is one cached (name, resource) pair in walk order.
+type namedResource struct {
+	name string
+	res  Resource
 }
 
 // NewStatsRegistry returns an empty registry.
@@ -128,6 +138,8 @@ func (r *StatsRegistry) Register(name string, res Resource) string {
 		final = fmt.Sprintf("%s#%d", name, n)
 	}
 	r.byName[final] = res
+	r.ordered = append(r.ordered, namedResource{name: final, res: res})
+	r.sorted = false
 	return final
 }
 
@@ -140,19 +152,31 @@ func (r *StatsRegistry) Lookup(name string) (Resource, bool) {
 // Len reports how many resources are registered.
 func (r *StatsRegistry) Len() int { return len(r.byName) }
 
+// ensureSorted re-sorts the cached walk order after new registrations.
+func (r *StatsRegistry) ensureSorted() {
+	if r.sorted {
+		return
+	}
+	sort.Slice(r.ordered, func(i, j int) bool { return r.ordered[i].name < r.ordered[j].name })
+	r.sorted = true
+}
+
 // Names returns all registered names, sorted.
 func (r *StatsRegistry) Names() []string {
-	out := make([]string, 0, len(r.byName))
-	for n := range r.byName {
-		out = append(out, n)
+	r.ensureSorted()
+	out := make([]string, 0, len(r.ordered))
+	for _, nr := range r.ordered {
+		out = append(out, nr.name)
 	}
-	sort.Strings(out)
 	return out
 }
 
-// Walk visits every resource in sorted-name order.
+// Walk visits every resource in sorted-name order. Between registrations
+// the order is cached, so a steady-state walk performs no allocations —
+// the property the periodic metrics sampler's zero-alloc gate depends on.
 func (r *StatsRegistry) Walk(fn func(name string, res Resource)) {
-	for _, n := range r.Names() {
-		fn(n, r.byName[n])
+	r.ensureSorted()
+	for _, nr := range r.ordered {
+		fn(nr.name, nr.res)
 	}
 }

@@ -1,0 +1,96 @@
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// AddJobs records a batch of jobs, keeping every job that can be traced
+// and reporting the first failure instead of silently dropping the rest:
+// an unfinished job mid-batch no longer hides the finished jobs after it,
+// and the caller still learns something went wrong.
+func (t *Timeline) AddJobs(jobs []*core.Job) error {
+	var first error
+	for _, j := range jobs {
+		if err := t.AddJob(j); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// counterPointCap bounds Chrome counter points per series. Long runs at a
+// fine sampling interval record far more samples than a trace viewer can
+// render (a 1 s simulation at 10 µs is 100k points per resource); the
+// merge decimates by stride, and the busy-% values stay exact because they
+// are computed between the kept cumulative samples.
+const counterPointCap = 2048
+
+// AddCounters merges a sampler's time series into the timeline as Chrome
+// "C" counter events: per resource one "occupancy" track and one "busy %"
+// track (the busy-time delta over the decimated sampling stride, as a
+// percentage), rendered by Perfetto as counter lanes alongside the task
+// slices. Series longer than counterPointCap points are decimated.
+func (t *Timeline) AddCounters(s *metrics.Sampler) {
+	for _, se := range s.Series() {
+		stride := (se.Len() + counterPointCap - 1) / counterPointCap
+		if stride < 1 {
+			stride = 1
+		}
+		prevIdx := -1
+		for i := 0; i < se.Len(); i += stride {
+			gi := se.Start() + i // global sample index
+			p := se.At(i)
+			ts := us(s.Time(gi))
+			t.events = append(t.events, Event{
+				Name:  se.Name + " occupancy",
+				Cat:   "metrics",
+				Phase: "C",
+				TS:    ts,
+				PID:   1,
+				Args:  map[string]any{"value": p.Occupancy},
+			})
+			if prevIdx >= 0 {
+				prev := se.At(prevIdx)
+				dt := s.Time(gi) - s.Time(se.Start()+prevIdx)
+				if dt > 0 {
+					pct := float64(p.Busy-prev.Busy) / float64(dt) * 100
+					t.events = append(t.events, Event{
+						Name:  se.Name + " busy %",
+						Cat:   "metrics",
+						Phase: "C",
+						TS:    ts,
+						PID:   1,
+						Args:  map[string]any{"value": pct},
+					})
+				}
+			}
+			prevIdx = i
+		}
+	}
+}
+
+// AddSpans merges a GAM span log into the timeline: one "X" slice per span
+// on a per-category lane, with the cause, instance, job and the category's
+// detail value in args. Instantaneous spans render as zero-duration slices.
+func (t *Timeline) AddSpans(l *metrics.SpanLog) {
+	for _, sp := range l.Spans() {
+		t.events = append(t.events, Event{
+			Name:  fmt.Sprintf("%s [%s]", sp.Name, sp.Cause),
+			Cat:   sp.Cat,
+			Phase: "X",
+			TS:    us(sp.Start),
+			Dur:   us(sp.End - sp.Start),
+			PID:   1,
+			TID:   t.lane(sp.Cat),
+			Args: map[string]any{
+				"cause":    sp.Cause,
+				"instance": sp.Lane,
+				"job":      sp.Job,
+				"v":        sp.V,
+			},
+		})
+	}
+}

@@ -1,0 +1,80 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// TestAddJobsSurfacesErrorKeepsRest: an unfinished job mid-batch must not
+// hide the finished jobs after it, and the first error must come back to
+// the caller instead of being dropped.
+func TestAddJobsSurfacesErrorKeepsRest(t *testing.T) {
+	run, err := experiments.RunPipeline(workload.DefaultModel(), experiments.ReACHMapping(), 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	notDone := core.NewJob(99) // never submitted, so never done
+
+	tl := NewTimeline()
+	jobs := []*core.Job{run.Jobs[0], notDone, run.Jobs[1]}
+	addErr := tl.AddJobs(jobs)
+	if addErr == nil {
+		t.Fatal("not-done job produced no error")
+	}
+	if !strings.Contains(addErr.Error(), "99") {
+		t.Errorf("error %q does not name the offending job", addErr)
+	}
+
+	// Both completed jobs must still be in the timeline: compare against a
+	// timeline built from only the good jobs.
+	want := NewTimeline()
+	if err := want.AddJobs([]*core.Job{run.Jobs[0], run.Jobs[1]}); err != nil {
+		t.Fatal(err)
+	}
+	if tl.Events() != want.Events() {
+		t.Fatalf("events after mid-batch error = %d, want %d (jobs dropped)",
+			tl.Events(), want.Events())
+	}
+}
+
+// TestAddCountersAndSpans: sampled runs merge into the timeline as "C"
+// counter events and per-category span lanes.
+func TestAddCountersAndSpans(t *testing.T) {
+	spec := experiments.PipelineSpec("p", workload.DefaultModel(), experiments.ReACHMapping(), 2, 2)
+	spec.Metrics = &metrics.Options{Spans: true}
+	run, err := spec.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl := NewTimeline()
+	if err := tl.AddJobs(run.Jobs); err != nil {
+		t.Fatal(err)
+	}
+	before := tl.Events()
+	tl.AddCounters(run.Obs.Sampler)
+	if tl.Events() <= before {
+		t.Fatal("AddCounters added no events")
+	}
+	if run.Obs.Spans.Len() == 0 {
+		t.Fatal("pipeline run recorded no GAM spans")
+	}
+	mid := tl.Events()
+	tl.AddSpans(run.Obs.Spans)
+	if got := tl.Events() - mid; got != run.Obs.Spans.Len() {
+		t.Fatalf("AddSpans added %d events, want %d", got, run.Obs.Spans.Len())
+	}
+	var sawDispatchLane bool
+	for _, l := range tl.Lanes() {
+		if l == metrics.CatDispatch {
+			sawDispatchLane = true
+		}
+	}
+	if !sawDispatchLane {
+		t.Error("no dispatch span lane in timeline")
+	}
+}
