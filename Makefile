@@ -8,11 +8,16 @@
 #   make metrics-smoke — end-to-end observability check: run reachsim with
 #                      -metrics/-spans/-trace and validate the CSV schema,
 #                      the Chrome-trace JSON and the bottleneck report
+#   make qtrace-smoke — per-query tracing check: a Poisson tail-latency
+#                      sweep with the live inspector on an ephemeral port,
+#                      curl its progress/expvar endpoints mid-run, then
+#                      validate the per-query CSV dumps
 
 GO ?= go
 SMOKE_DIR := metrics-smoke-out
+QSMOKE_DIR := qtrace-smoke-out
 
-.PHONY: check fmt-check build vet test race bench bench-smoke metrics-smoke
+.PHONY: check fmt-check build vet test race bench bench-smoke metrics-smoke qtrace-smoke
 
 check: fmt-check build vet race
 
@@ -52,3 +57,27 @@ metrics-smoke:
 	$(GO) run ./cmd/reachsim -trace $(SMOKE_DIR)/trace.json -spans \
 		-metrics-interval 500us
 	METRICS_SMOKE_DIR=$$PWD/$(SMOKE_DIR) $(GO) test -run TestMetricsSmokeArtifacts -v ./cmd/reachsim/
+
+# Per-query tracing smoke: the Poisson tail-latency sweep with -qtrace and
+# the inspector on an ephemeral port. The recipe scrapes the bound address
+# from stderr, snapshots /progress and /debug/vars while the sweep runs,
+# waits for a clean exit, then validates every artifact via the env-gated
+# test in cmd/reachsim.
+qtrace-smoke:
+	rm -rf $(QSMOKE_DIR) && mkdir -p $(QSMOKE_DIR)
+	$(GO) build -o $(QSMOKE_DIR)/reachsim ./cmd/reachsim
+	@set -e; \
+	$(QSMOKE_DIR)/reachsim -exp taillatency -http 127.0.0.1:0 -http-linger 120s \
+		-qtrace $(QSMOKE_DIR)/queries.csv \
+		> $(QSMOKE_DIR)/report.txt 2> $(QSMOKE_DIR)/stderr.log & \
+	pid=$$!; \
+	for i in $$(seq 1 600); do \
+		grep -q '^per-query traces' $(QSMOKE_DIR)/stderr.log && break; sleep 0.1; \
+	done; \
+	if ! grep -q '^per-query traces' $(QSMOKE_DIR)/stderr.log; then \
+		echo "sweep never finished"; kill $$pid 2>/dev/null; exit 1; fi; \
+	addr=$$(sed -n 's#^inspector listening on http://##p' $(QSMOKE_DIR)/stderr.log); \
+	curl -sf "http://$$addr/progress" > $(QSMOKE_DIR)/progress.json || { kill $$pid 2>/dev/null; exit 1; }; \
+	curl -sf "http://$$addr/debug/vars" > $(QSMOKE_DIR)/expvar.json || { kill $$pid 2>/dev/null; exit 1; }; \
+	kill $$pid; wait $$pid 2>/dev/null || true
+	QTRACE_SMOKE_DIR=$$PWD/$(QSMOKE_DIR) $(GO) test -run TestQTraceSmokeArtifacts -v ./cmd/reachsim/

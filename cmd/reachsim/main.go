@@ -7,6 +7,8 @@
 //	reachsim -exp all              # everything
 //	reachsim -exp all -j 8         # everything, 8 simulations in flight
 //	reachsim -exp fig9 -csv        # CSV instead of aligned text
+//	reachsim -exp taillatency      # Poisson open-loop tail-latency sweep
+//	reachsim -exp all -http :8080  # live inspector while experiments run
 //	reachsim -list                 # list experiment ids
 package main
 
@@ -26,7 +28,9 @@ import (
 	"repro/internal/config"
 	"repro/internal/energy"
 	"repro/internal/experiments"
+	"repro/internal/inspect"
 	"repro/internal/metrics"
+	"repro/internal/qtrace"
 	"repro/internal/report"
 	"repro/internal/runner"
 	"repro/internal/sim"
@@ -40,6 +44,11 @@ var experimentIDs = []string{
 	"ablation-gam", "ablation-mapping", "ablation-nsbuffer", "ablation-granularity",
 	"motivation", "loadsweep", "skew", "reverselookup", "multitenant", "recallsweep",
 }
+
+// extraIDs are runnable and listed but excluded from `-exp all`: the tail
+// sweep's Poisson runs don't belong to the paper's evaluation tables, and
+// keeping them out preserves `-exp all` output byte-for-byte.
+var extraIDs = []string{"taillatency"}
 
 func main() {
 	var (
@@ -57,6 +66,9 @@ func main() {
 		metricsIv = flag.Duration("metrics-interval", 0, "simulated-time sampling period for -metrics (default 10µs)")
 		spans     = flag.Bool("spans", false, "record GAM decision spans (merged into -trace timelines and .jsonl metrics dumps)")
 		progress  = flag.Bool("progress", false, "print per-run progress counters to stderr as experiments execute")
+		qtraceF   = flag.String("qtrace", "", "trace every query and write per-query timelines here (interval CSV plus a *_summary.csv, or a single JSON Lines file when the path ends in .jsonl)")
+		httpAddr  = flag.String("http", "", "serve a live run inspector on this address (/progress JSON, expvar at /debug/vars, pprof at /debug/pprof); implies per-query tracing")
+		httpWait  = flag.Duration("http-linger", 0, "with -http, keep the inspector serving this long after the experiments finish, so scripts can scrape the final counters")
 	)
 	flag.Parse()
 
@@ -121,7 +133,7 @@ func main() {
 	}
 
 	if *list {
-		ids := append([]string(nil), experimentIDs...)
+		ids := append(append([]string(nil), experimentIDs...), extraIDs...)
 		sort.Strings(ids)
 		for _, id := range ids {
 			fmt.Println(id)
@@ -153,8 +165,29 @@ func main() {
 		ra.metricsPath = *metricsF
 		ra.metrics = &mo
 	}
+	if *httpAddr != "" {
+		insp := inspect.New()
+		if err := insp.Start(*httpAddr); err != nil {
+			fatal(err)
+		}
+		defer insp.Close()
+		fmt.Fprintf(os.Stderr, "inspector listening on http://%s\n", insp.Addr())
+		ra.inspector = insp
+	}
+	if *qtraceF != "" || ra.inspector != nil {
+		ra.qtracePath = *qtraceF
+		qo := &qtrace.Options{}
+		if ra.inspector != nil {
+			qo.Observer = ra.inspector
+		}
+		ra.qtrace = qo
+	}
 	if err := runAll(os.Stdout, ids, cfg, m, ra); err != nil {
 		fatal(err)
+	}
+	if ra.inspector != nil && *httpWait > 0 {
+		fmt.Fprintf(os.Stderr, "experiments done; inspector lingering %s\n", *httpWait)
+		time.Sleep(*httpWait)
 	}
 }
 
@@ -170,6 +203,14 @@ type runAllOptions struct {
 	// .jsonl paths), plus a bottleneck-attribution table per sampled run.
 	metrics     *metrics.Options
 	metricsPath string
+	// qtrace, when set, traces every query of every RunSpec-based run;
+	// qtracePath (optional) receives the per-query timelines as an
+	// interval CSV plus a *_summary.csv, or one JSONL file. The inspector,
+	// when set, rides qtrace.Options.Observer for live query counters and
+	// gets each finished run's resource utilization.
+	qtrace     *qtrace.Options
+	qtracePath string
+	inspector  *inspect.Server
 }
 
 // obsEntry is one sampled run: the experiment it belongs to, the run name,
@@ -191,6 +232,7 @@ func runAll(w io.Writer, ids []string, cfg config.SystemConfig, m workload.Model
 	start := time.Now()
 	secs := make([]float64, len(ids)) // each index written by exactly one worker
 	obs := make([][]obsEntry, len(ids))
+	qobs := make([][]obsEntry, len(ids))
 	// The outer fan-out is unbounded: experiments only hold pool slots
 	// while leaf simulations run, so len(ids) goroutines cost nothing and
 	// a bounded outer layer could not deadlock the inner sweeps anyway.
@@ -208,6 +250,15 @@ func runAll(w io.Writer, ids []string, cfg config.SystemConfig, m workload.Model
 				opts = append(opts, experiments.WithMetrics(*o.metrics,
 					func(run string, res *experiments.RunResult) {
 						obs[i] = append(obs[i], obsEntry{exp: id, run: run, res: res})
+					}))
+			}
+			if o.qtrace != nil {
+				opts = append(opts, experiments.WithQTrace(*o.qtrace,
+					func(run string, res *experiments.RunResult) {
+						qobs[i] = append(qobs[i], obsEntry{exp: id, run: run, res: res})
+						if o.inspector != nil {
+							o.inspector.ObserveRun(id+"/"+run, res.Sys.Engine().Stats())
+						}
 					}))
 			}
 			t0 := time.Now()
@@ -228,6 +279,11 @@ func runAll(w io.Writer, ids []string, cfg config.SystemConfig, m workload.Model
 	}
 	if o.metricsPath != "" {
 		if err := writeMetrics(w, o.metricsPath, obs, o.csv); err != nil {
+			return err
+		}
+	}
+	if o.qtracePath != "" {
+		if err := writeQTrace(o.qtracePath, qobs); err != nil {
 			return err
 		}
 	}
@@ -278,6 +334,57 @@ func writeMetrics(w io.Writer, path string, obs [][]obsEntry, csv bool) error {
 		}
 	}
 	fmt.Fprintf(os.Stderr, "metrics for %d runs written to %s\n", sampled, path)
+	return nil
+}
+
+// qtraceSummaryPath derives the per-query summary CSV's path from the
+// interval CSV's: "q.csv" → "q_summary.csv".
+func qtraceSummaryPath(path string) string {
+	ext := ".csv"
+	base := path
+	if i := strings.LastIndex(path, "."); i > strings.LastIndexByte(path, os.PathSeparator) {
+		base, ext = path[:i], path[i:]
+	}
+	return base + "_summary" + ext
+}
+
+// writeQTrace dumps every traced run's per-query timelines to path: the
+// phase intervals as CSV plus a *_summary.csv of per-query latencies and
+// dominant attributions, or both streams tagged by type in one JSON Lines
+// file when the path ends in .jsonl. Entries are ordered (experiment id
+// order, spec order), so output is identical for any -j.
+func writeQTrace(path string, qobs [][]obsEntry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var write func(label string, l *qtrace.Log) error
+	where := path
+	if strings.HasSuffix(path, ".jsonl") {
+		jw := qtrace.NewJSONLWriter(f)
+		write = jw.WriteRun
+	} else {
+		sumPath := qtraceSummaryPath(path)
+		sf, err := os.Create(sumPath)
+		if err != nil {
+			return err
+		}
+		defer sf.Close()
+		cw := qtrace.NewCSVWriter(f, sf)
+		write = cw.WriteRun
+		where += " and " + sumPath
+	}
+	traced := 0
+	for _, entries := range qobs {
+		for _, e := range entries {
+			if err := write(e.exp+"/"+e.run, e.res.QLog); err != nil {
+				return err
+			}
+			traced++
+		}
+	}
+	fmt.Fprintf(os.Stderr, "per-query traces for %d runs written to %s\n", traced, where)
 	return nil
 }
 
@@ -400,6 +507,12 @@ func run(id string, cfg config.SystemConfig, m workload.Model, opts ...experimen
 			return nil, err
 		}
 		return []*report.Table{experiments.LoadSweepTable(onchip, reach)}, nil
+	case "taillatency":
+		onchip, reach, err := experiments.TailLatencyBoth(m, opts...)
+		if err != nil {
+			return nil, err
+		}
+		return []*report.Table{experiments.TailLatencyTable(onchip, reach)}, nil
 	case "ablation-nsbuffer":
 		r, err := experiments.AblationNSBuffer(m, opts...)
 		if err != nil {
@@ -424,13 +537,15 @@ func emit(t *report.Table, w io.Writer, csv bool) error {
 	return t.Render(w)
 }
 
-// writeTrace runs an 8-batch ReACH pipeline and dumps its timeline. With a
-// non-nil metrics option the run is sampled: counter lanes and (when
-// enabled) GAM decision spans are merged into the trace, and the raw time
-// series additionally lands at metricsPath when set.
+// writeTrace runs an 8-batch ReACH pipeline and dumps its timeline, one
+// lane per query with its phase intervals merged in. With a non-nil
+// metrics option the run is sampled: counter lanes and (when enabled) GAM
+// decision spans are merged into the trace, and the raw time series
+// additionally lands at metricsPath when set.
 func writeTrace(path string, mo *metrics.Options, metricsPath string) error {
 	spec := experiments.PipelineSpec("pipeline", workload.DefaultModel(), experiments.ReACHMapping(), 4, 8)
 	spec.Metrics = mo
+	spec.QTrace = &qtrace.Options{}
 	run, err := spec.Run()
 	if err != nil {
 		return err
@@ -440,6 +555,7 @@ func writeTrace(path string, mo *metrics.Options, metricsPath string) error {
 	// failure after the timeline is as complete as it can be.
 	addErr := tl.AddJobs(run.Jobs)
 	tl.AddResources(run.Sys.Engine().Stats(), run.Sys.Engine().Now())
+	tl.AddQueries(run.QLog)
 	if run.Obs != nil {
 		tl.AddCounters(run.Obs.Sampler)
 		if run.Obs.Spans != nil {

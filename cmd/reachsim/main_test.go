@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/csv"
 	"encoding/json"
 	"os"
 	"sort"
@@ -8,7 +9,9 @@ import (
 	"testing"
 
 	"repro/internal/config"
+	"repro/internal/inspect"
 	"repro/internal/metrics"
+	"repro/internal/qtrace"
 	"repro/internal/workload"
 )
 
@@ -64,12 +67,147 @@ table1
 table2
 table3
 table4
+taillatency
 `
-	ids := append([]string(nil), experimentIDs...)
+	ids := append(append([]string(nil), experimentIDs...), extraIDs...)
 	sort.Strings(ids)
 	got := strings.Join(ids, "\n") + "\n"
 	if got != want {
 		t.Errorf("-list output changed:\ngot:\n%swant:\n%s", got, want)
+	}
+}
+
+// TestExtraIDsRunnable: ids outside "all" still run through the same
+// switch; "taillatency" must stay out of experimentIDs so `-exp all`
+// output is unchanged.
+func TestExtraIDsRunnable(t *testing.T) {
+	for _, id := range experimentIDs {
+		if id == "taillatency" {
+			t.Fatal("taillatency joined -exp all; it must stay an extra id")
+		}
+	}
+	tables, err := run("taillatency", config.Default(), workload.DefaultModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) == 0 {
+		t.Fatal("taillatency produced no tables")
+	}
+}
+
+func TestQTraceSummaryPath(t *testing.T) {
+	for in, want := range map[string]string{
+		"q.csv":      "q_summary.csv",
+		"out/q.csv":  "out/q_summary.csv",
+		"noext":      "noext_summary.csv",
+		"a.dir/file": "a.dir/file_summary.csv",
+	} {
+		if got := qtraceSummaryPath(in); got != want {
+			t.Errorf("qtraceSummaryPath(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestRunAllQTraceInspector drives runAll the way `-exp taillatency
+// -qtrace q.csv -http :0` does: per-query CSVs land with the pinned
+// schemas, the inspector's live counters see every completed query, and
+// each traced run reports its resource utilization.
+func TestRunAllQTraceInspector(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/queries.csv"
+	insp := inspect.New()
+	if err := insp.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer insp.Close()
+	o := runAllOptions{
+		jobs:       4,
+		qtrace:     &qtrace.Options{Observer: insp},
+		qtracePath: path,
+		inspector:  insp,
+	}
+	var out strings.Builder
+	if err := runAll(&out, []string{"taillatency"}, config.Default(), workload.DefaultModel(), o); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Tail latency") {
+		t.Error("taillatency table not emitted")
+	}
+
+	readCSV := func(p string) [][]string {
+		t.Helper()
+		f, err := os.Open(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		rows, err := csv.NewReader(f).ReadAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rows
+	}
+	ivs := readCSV(path)
+	if got, want := strings.Join(ivs[0], ","), strings.Join(qtrace.IntervalCSVHeader(), ","); got != want {
+		t.Errorf("interval CSV header %q, want %q", got, want)
+	}
+	sums := readCSV(qtraceSummaryPath(path))
+	if got, want := strings.Join(sums[0], ","), strings.Join(qtrace.SummaryCSVHeader(), ","); got != want {
+		t.Errorf("summary CSV header %q, want %q", got, want)
+	}
+	// 4 rates x 2 mappings x DefaultTailBatches completed queries.
+	wantQueries := 8 * 96
+	if len(sums)-1 != wantQueries {
+		t.Errorf("summary rows = %d, want %d", len(sums)-1, wantQueries)
+	}
+	if len(ivs)-1 <= wantQueries {
+		t.Errorf("interval rows = %d; expected several per query", len(ivs)-1)
+	}
+	snap := insp.Snapshot()
+	if snap.QueriesCompleted != uint64(wantQueries) {
+		t.Errorf("inspector saw %d queries, want %d (live observer not wired)",
+			snap.QueriesCompleted, wantQueries)
+	}
+	if snap.P99Ms <= snap.P50Ms || snap.P50Ms <= 0 {
+		t.Errorf("inspector quantiles implausible: p50=%v p99=%v", snap.P50Ms, snap.P99Ms)
+	}
+	if snap.RunsObserved != 8 {
+		t.Errorf("inspector observed %d runs, want 8", snap.RunsObserved)
+	}
+	if len(snap.Resources) == 0 {
+		t.Error("inspector has no per-resource busy fractions")
+	}
+}
+
+// TestWriteQTraceJSONL: a .jsonl path switches to one tagged stream.
+func TestWriteQTraceJSONL(t *testing.T) {
+	path := t.TempDir() + "/q.jsonl"
+	o := runAllOptions{qtrace: &qtrace.Options{}, qtracePath: path}
+	var out strings.Builder
+	if err := runAll(&out, []string{"fig12"}, config.Default(), workload.DefaultModel(), o); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var intervals, queries int
+	for _, line := range strings.Split(strings.TrimSpace(string(raw)), "\n") {
+		var rec struct{ Type string }
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", line, err)
+		}
+		switch rec.Type {
+		case "interval":
+			intervals++
+		case "query":
+			queries++
+		default:
+			t.Fatalf("unknown record type %q", rec.Type)
+		}
+	}
+	if intervals == 0 || queries == 0 {
+		t.Fatalf("JSONL dump missing records: %d intervals, %d queries", intervals, queries)
 	}
 }
 

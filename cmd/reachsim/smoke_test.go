@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"repro/internal/metrics"
+	"repro/internal/qtrace"
 )
 
 // TestMetricsSmokeArtifacts validates the files `make metrics-smoke`
@@ -109,6 +110,129 @@ func TestMetricsSmokeArtifacts(t *testing.T) {
 		}
 		if !strings.Contains(out, "crit_path") {
 			t.Fatal("bottleneck table missing critical-path column")
+		}
+	})
+}
+
+// TestQTraceSmokeArtifacts validates the files `make qtrace-smoke`
+// produced: the per-query interval and summary CSV schemas, the mid-run
+// /progress and /debug/vars snapshots, and the tail-latency report.
+// Skipped unless QTRACE_SMOKE_DIR points at the smoke output directory.
+func TestQTraceSmokeArtifacts(t *testing.T) {
+	dir := os.Getenv("QTRACE_SMOKE_DIR")
+	if dir == "" {
+		t.Skip("QTRACE_SMOKE_DIR not set; run via `make qtrace-smoke`")
+	}
+
+	readCSV := func(t *testing.T, name string) [][]string {
+		t.Helper()
+		f, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		rows, err := csv.NewReader(f).ReadAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) < 2 {
+			t.Fatalf("%s has no data rows", name)
+		}
+		return rows
+	}
+
+	t.Run("interval-csv-schema", func(t *testing.T) {
+		rows := readCSV(t, "queries.csv")
+		if got, want := strings.Join(rows[0], ","), strings.Join(qtrace.IntervalCSVHeader(), ","); got != want {
+			t.Fatalf("interval header %q, want %q", got, want)
+		}
+		for i, row := range rows[1:] {
+			start, err1 := strconv.ParseFloat(row[7], 64)
+			end, err2 := strconv.ParseFloat(row[8], 64)
+			dur, err3 := strconv.ParseFloat(row[9], 64)
+			if err1 != nil || err2 != nil || err3 != nil {
+				t.Fatalf("row %d: non-numeric interval bounds %v", i+1, row[7:10])
+			}
+			if end < start || dur < 0 {
+				t.Fatalf("row %d: interval not ordered: start %v end %v dur %v", i+1, start, end, dur)
+			}
+		}
+	})
+
+	t.Run("summary-csv-schema", func(t *testing.T) {
+		rows := readCSV(t, "queries_summary.csv")
+		if got, want := strings.Join(rows[0], ","), strings.Join(qtrace.SummaryCSVHeader(), ","); got != want {
+			t.Fatalf("summary header %q, want %q", got, want)
+		}
+		for i, row := range rows[1:] {
+			arrival, err1 := strconv.ParseFloat(row[3], 64)
+			done, err2 := strconv.ParseFloat(row[4], 64)
+			lat, err3 := strconv.ParseFloat(row[5], 64)
+			share, err4 := strconv.ParseFloat(row[10], 64)
+			if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+				t.Fatalf("row %d: non-numeric fields %v", i+1, row)
+			}
+			if diff := done - arrival - lat; diff > 0.002 || diff < -0.002 {
+				t.Fatalf("row %d: latency %v != done-arrival %v", i+1, lat, done-arrival)
+			}
+			if share <= 0 || share > 1 {
+				t.Fatalf("row %d: dominant share %v out of (0,1]", i+1, share)
+			}
+			if row[7] == "" {
+				t.Fatalf("row %d: no dominant phase", i+1)
+			}
+		}
+	})
+
+	t.Run("progress-snapshot", func(t *testing.T) {
+		raw, err := os.ReadFile(filepath.Join(dir, "progress.json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var snap map[string]any
+		if err := json.Unmarshal(raw, &snap); err != nil {
+			t.Fatalf("/progress snapshot is not valid JSON: %v", err)
+		}
+		for _, key := range []string{"uptime_seconds", "queries_completed", "p99_ms", "runs_observed"} {
+			if _, ok := snap[key]; !ok {
+				t.Errorf("progress snapshot missing %q", key)
+			}
+		}
+		// The snapshot is scraped after the sweep drains: every counter is
+		// populated.
+		for _, key := range []string{"queries_completed", "p99_ms", "runs_observed"} {
+			if v, _ := snap[key].(float64); v <= 0 {
+				t.Errorf("progress %s = %v, want > 0", key, snap[key])
+			}
+		}
+		if res, _ := snap["resources"].([]any); len(res) == 0 {
+			t.Error("progress snapshot has no per-resource busy fractions")
+		}
+	})
+
+	t.Run("expvar-snapshot", func(t *testing.T) {
+		raw, err := os.ReadFile(filepath.Join(dir, "expvar.json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var vars map[string]any
+		if err := json.Unmarshal(raw, &vars); err != nil {
+			t.Fatalf("/debug/vars snapshot is not valid JSON: %v", err)
+		}
+		for _, key := range []string{"qtrace_queries_completed", "qtrace_p99_ms", "qtrace_resources_busy_pct"} {
+			if _, ok := vars[key]; !ok {
+				t.Errorf("expvar snapshot missing %q", key)
+			}
+		}
+	})
+
+	t.Run("tail-report", func(t *testing.T) {
+		raw, err := os.ReadFile(filepath.Join(dir, "report.txt"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(raw), "Tail latency") {
+			t.Fatal("report missing the tail-latency table")
 		}
 	})
 }

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/accel"
 	"repro/internal/metrics"
+	"repro/internal/qtrace"
 	"repro/internal/sim"
 )
 
@@ -43,6 +44,15 @@ type GAM struct {
 	// causes, reconfigurations, poll gaps, stream stalls). Nil — the
 	// default — keeps every hook down to a single pointer check.
 	spans *metrics.SpanLog
+
+	// qlog, when non-nil, receives per-query phase intervals (queue wait,
+	// execution, reconfiguration, poll gaps, inter-level transfers) keyed
+	// by the QueryID Submit assigns. Nil — the default — keeps every hook
+	// down to a single pointer check.
+	qlog *qtrace.Log
+	// nextQuery is the monotonically increasing QueryID counter. IDs are
+	// assigned whether or not a log is attached, so every job carries one.
+	nextQuery int
 }
 
 // SetSpanLog attaches a span log; pass nil to disable instrumentation.
@@ -50,6 +60,51 @@ func (g *GAM) SetSpanLog(l *metrics.SpanLog) { g.spans = l }
 
 // SpanLog reports the attached span log (nil when spans are disabled).
 func (g *GAM) SpanLog() *metrics.SpanLog { return g.spans }
+
+// SetQueryLog attaches a per-query trace log; pass nil to disable.
+func (g *GAM) SetQueryLog(l *qtrace.Log) { g.qlog = l }
+
+// QueryLog reports the attached query log (nil when tracing is disabled).
+func (g *GAM) QueryLog() *qtrace.Log { return g.qlog }
+
+// tracing reports whether any per-task instrumentation (decision spans or
+// query tracing) wants the dispatch cause bookkeeping maintained.
+func (g *GAM) tracing() bool { return g.spans != nil || g.qlog != nil }
+
+// qtraceAdd records one phase interval for a job's query. It is the
+// disabled-path gate for every query-trace hook: with no log attached it
+// is a single nil check and must stay allocation-free (see
+// TestQTraceDisabledZeroAlloc).
+func (g *GAM) qtraceAdd(j *Job, phase, stage, level, detail string, start, end sim.Time) {
+	if g.qlog == nil {
+		return
+	}
+	g.qlog.Add(j.QueryID, qtrace.Interval{
+		Phase: phase, Stage: stage, Level: level, Detail: detail,
+		Start: start, End: end,
+	})
+}
+
+// levelNames spells accel levels the way the shared stream buffers do
+// ("stream.onchip-nearmem"), so per-query transfer intervals and registry
+// resources use one vocabulary.
+var levelNames = [...]string{
+	accel.OnChip:      "onchip",
+	accel.NearMemory:  "nearmem",
+	accel.NearStorage: "nearstor",
+	accel.CPU:         "cpu",
+}
+
+// linkNames precomputes every src→dst pair so the transfer hook never
+// concatenates on the hot path.
+var linkNames = func() (m [len(levelNames)][len(levelNames)]string) {
+	for s, sn := range levelNames {
+		for d, dn := range levelNames {
+			m[s][d] = sn + "-" + dn
+		}
+	}
+	return
+}()
 
 // Event phase tags for TaskNode.Fire. A node's lifecycle events all use the
 // node itself as the preallocated handler; the phase (and, for deliveries,
@@ -173,6 +228,11 @@ func (g *GAM) Submit(j *Job) error {
 	}
 	j.SubmittedAt = g.sys.eng.Now()
 	j.gam = g
+	j.QueryID = g.nextQuery
+	g.nextQuery++
+	if g.qlog != nil {
+		g.qlog.Submitted(j.QueryID, j.ID, j.SubmittedAt)
+	}
 	g.jobs = append(g.jobs, j)
 	g.stats.JobsSubmitted++
 	for _, n := range j.Nodes {
@@ -237,7 +297,7 @@ func (g *GAM) dispatchAll() {
 		rest := q[:0]
 		for _, n := range q {
 			if gate != nil && n.job != gate {
-				if g.spans != nil {
+				if g.tracing() {
 					n.blockCause = metrics.CauseJobGate
 				}
 				rest = append(rest, n)
@@ -246,7 +306,7 @@ func (g *GAM) dispatchAll() {
 			if now := g.sys.eng.Now(); n.NotBefore > now {
 				// Input still in flight: revisit when it lands.
 				g.sys.eng.AtCall(n.NotBefore, g, gamArm)
-				if g.spans != nil {
+				if g.tracing() {
 					n.blockCause = metrics.CauseInputInFlight
 				}
 				rest = append(rest, n)
@@ -254,7 +314,7 @@ func (g *GAM) dispatchAll() {
 			}
 			acc := g.pickIdle(level, n.Pin)
 			if acc == nil {
-				if g.spans != nil {
+				if g.tracing() {
 					n.blockCause = metrics.CauseNoIdleInstance
 				}
 				rest = append(rest, n)
@@ -315,7 +375,7 @@ func (g *GAM) dispatch(n *TaskNode, a accel.Accelerator) {
 	n.DispatchedAt = g.sys.eng.Now()
 	g.stats.TasksDispatched++
 	g.stats.CommandPackets++
-	if g.spans != nil {
+	if g.tracing() {
 		// The dispatch span covers ready-instant to command send; the cause
 		// names the last reason the node sat in the queue (or "immediate").
 		cause := n.blockCause
@@ -323,11 +383,15 @@ func (g *GAM) dispatch(n *TaskNode, a accel.Accelerator) {
 			cause = metrics.CauseImmediate
 		}
 		n.blockCause = ""
-		g.spans.Add(metrics.Span{
-			Cat: metrics.CatDispatch, Name: n.Spec.Name, Lane: a.Name(),
-			Cause: cause, Start: n.ReadyAt, End: n.DispatchedAt,
-			Job: n.job.ID, V: int64(len(g.claimed)),
-		})
+		if g.spans != nil {
+			g.spans.Add(metrics.Span{
+				Cat: metrics.CatDispatch, Name: n.Spec.Name, Lane: a.Name(),
+				Cause: cause, Start: n.ReadyAt, End: n.DispatchedAt,
+				Job: n.job.ID, V: int64(len(g.claimed)),
+			})
+		}
+		g.qtraceAdd(n.job, qtrace.PhaseQueue, n.Spec.Stage, n.Level.String(),
+			cause, n.ReadyAt, n.DispatchedAt)
 	}
 
 	cl := g.sys.gamCommandLatency()
@@ -348,12 +412,16 @@ func (g *GAM) execute(n *TaskNode) {
 	if err != nil {
 		panic(fmt.Sprintf("core: kernel/device mismatch on %s: %v", a.Name(), err))
 	}
-	if g.spans != nil && fab.Reconfigs() != reconfigsBefore {
-		g.spans.Add(metrics.Span{
-			Cat: metrics.CatReconfig, Name: n.Spec.Kernel.Name, Lane: a.Name(),
-			Cause: metrics.CauseReconfig, Start: g.sys.eng.Now(), End: ready,
-			Job: n.job.ID, V: int64(fab.Reconfigs()),
-		})
+	if g.tracing() && fab.Reconfigs() != reconfigsBefore {
+		if g.spans != nil {
+			g.spans.Add(metrics.Span{
+				Cat: metrics.CatReconfig, Name: n.Spec.Kernel.Name, Lane: a.Name(),
+				Cause: metrics.CauseReconfig, Start: g.sys.eng.Now(), End: ready,
+				Job: n.job.ID, V: int64(fab.Reconfigs()),
+			})
+		}
+		g.qtraceAdd(n.job, qtrace.PhaseReconfig, n.Spec.Stage, n.Level.String(),
+			n.Spec.Kernel.Name, g.sys.eng.Now(), ready)
 	}
 	done, err := a.Execute(&n.Spec)
 	if err != nil {
@@ -362,6 +430,8 @@ func (g *GAM) execute(n *TaskNode) {
 		panic(fmt.Sprintf("core: dispatch invariant violated on %s: %v", a.Name(), err))
 	}
 	n.CompletedAt = done
+	g.qtraceAdd(n.job, qtrace.PhaseExec, n.Spec.Stage, n.Level.String(),
+		a.Name(), g.sys.eng.Now(), done)
 	cl := g.sys.gamCommandLatency()
 	if n.Level == accel.OnChip {
 		// On-chip accelerators are cache-coherent: completion is
@@ -414,14 +484,18 @@ func (g *GAM) finish(n *TaskNode, a accel.Accelerator) {
 	n.state = NodeDone
 	n.DetectedAt = g.sys.eng.Now()
 	delete(g.claimed, a)
-	if g.spans != nil && n.Polls > 0 && n.DetectedAt > n.CompletedAt {
+	if g.tracing() && n.Polls > 0 && n.DetectedAt > n.CompletedAt {
 		// Poll-detection gap: the window between device completion and the
 		// GAM noticing it through status polling (non-coherent levels).
-		g.spans.Add(metrics.Span{
-			Cat: metrics.CatPollGap, Name: n.Spec.Name, Lane: a.Name(),
-			Cause: metrics.CauseStatusPoll, Start: n.CompletedAt,
-			End: n.DetectedAt, Job: n.job.ID, V: int64(n.Polls),
-		})
+		if g.spans != nil {
+			g.spans.Add(metrics.Span{
+				Cat: metrics.CatPollGap, Name: n.Spec.Name, Lane: a.Name(),
+				Cause: metrics.CauseStatusPoll, Start: n.CompletedAt,
+				End: n.DetectedAt, Job: n.job.ID, V: int64(n.Polls),
+			})
+		}
+		g.qtraceAdd(n.job, qtrace.PhasePollGap, n.Spec.Stage, n.Level.String(),
+			a.Name(), n.CompletedAt, n.DetectedAt)
 	}
 
 	// Forward outputs to each dependent (stream enqueue, duplicated per
@@ -439,6 +513,8 @@ func (g *GAM) finish(n *TaskNode, a accel.Accelerator) {
 			}
 			g.stats.Transfers++
 			transferDone := g.sys.Transfer(n.Level, dep.Level, dstIdx, n.OutBytes, n.Spec.Stage)
+			g.qtraceAdd(n.job, qtrace.PhaseXfer, n.Spec.Stage, dep.Level.String(),
+				linkNames[n.Level][dep.Level], n.DetectedAt, transferDone)
 			g.sys.eng.AtCall(transferDone, n, nodeStream|uint64(i)<<nodePhaseBits)
 		} else {
 			g.sys.eng.AtCall(g.sys.eng.Now(), n, nodeDeliver|uint64(i)<<nodePhaseBits)
@@ -450,6 +526,8 @@ func (g *GAM) finish(n *TaskNode, a accel.Accelerator) {
 		// isn't complete until the result lands in host memory.
 		g.stats.Transfers++
 		collected := g.sys.Transfer(n.Level, accel.CPU, 0, n.OutBytes, n.Spec.Stage)
+		g.qtraceAdd(n.job, qtrace.PhaseXfer, n.Spec.Stage, accel.CPU.String(),
+			linkNames[n.Level][accel.CPU], n.DetectedAt, collected)
 		g.sys.eng.AtCall(collected, n, nodeCollect)
 		g.armDispatch()
 		return
@@ -536,6 +614,9 @@ func (j *Job) Fire(eng *sim.Engine, _ uint64) {
 	j.done = true
 	j.FinishedAt = eng.Now()
 	g.stats.JobsCompleted++
+	if g.qlog != nil {
+		g.qlog.Completed(j.QueryID, j.FinishedAt)
+	}
 	if j.onDone != nil {
 		j.onDone(j)
 	}

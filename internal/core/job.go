@@ -72,8 +72,9 @@ type TaskNode struct {
 	estimate sim.Time
 
 	// blockCause remembers why the latest dispatch pass skipped this ready
-	// node — the cause tag the eventual dispatch span carries. Only written
-	// when span instrumentation is enabled.
+	// node — the cause tag the eventual dispatch span and query-trace queue
+	// interval carry. Only written when span or query instrumentation is
+	// enabled.
 	blockCause string
 
 	// Timeline, filled in by the GAM.
@@ -93,6 +94,11 @@ func (n *TaskNode) State() NodeState { return n.state }
 type Job struct {
 	ID    int
 	Nodes []*TaskNode
+	// QueryID is the GAM-assigned end-to-end tracing identity: monotonic per
+	// GAM in submission order, set by Submit whether or not a query log is
+	// attached. Unlike ID (caller-chosen, possibly reused across experiment
+	// repetitions) it is unique within a system's lifetime.
+	QueryID int
 	// Priority orders dispatch between jobs contending for the same
 	// level: higher first, ties by submission order. The knob behind
 	// §III's "allow GAM to balance the hardware resources during

@@ -2,12 +2,55 @@ package experiments
 
 import (
 	"fmt"
+	"math/rand"
 
 	"repro/internal/accel"
 	"repro/internal/report"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
+
+// ArrivalProcess selects how a sweep's open-loop arrivals are spaced.
+type ArrivalProcess int
+
+const (
+	// ArrivalFixed submits job id at id/rate — evenly spaced arrivals, the
+	// default and the golden path every pinned output was produced with.
+	ArrivalFixed ArrivalProcess = iota
+	// ArrivalPoisson draws i.i.d. exponential inter-arrival gaps with mean
+	// 1/rate from a seeded source — a memoryless open loop whose burstiness
+	// exposes tail latency the way production traffic does.
+	ArrivalPoisson
+)
+
+// ArrivalSpec is a sweep's arrival-process configuration. The zero value is
+// the fixed-interval golden path.
+type ArrivalSpec struct {
+	Process ArrivalProcess
+	// Seed seeds the Poisson gap sequence. Each rate in a sweep derives its
+	// own stream from Seed and the rate's index, so every run is
+	// reproducible and independent of worker scheduling.
+	Seed int64
+}
+
+// schedule builds job id → submission time for one rate. Poisson arrival
+// times are precomputed sequentially here, in the spec builder, so the
+// resulting SubmitAt closure is a pure table lookup and sweep results stay
+// byte-identical at any -j.
+func (a ArrivalSpec) schedule(rate float64, batches int, stream int64) func(id int) sim.Time {
+	if a.Process == ArrivalFixed {
+		interval := sim.FromSeconds(1 / rate)
+		return func(id int) sim.Time { return sim.Time(id) * interval }
+	}
+	rng := rand.New(rand.NewSource(a.Seed ^ stream*0x5851f42d4c957f2d))
+	times := make([]sim.Time, batches)
+	at := 0.0
+	for i := range times {
+		at += rng.ExpFloat64() / rate
+		times[i] = sim.FromSeconds(at)
+	}
+	return func(id int) sim.Time { return times[id] }
+}
 
 // LoadPoint is one offered-load measurement.
 type LoadPoint struct {
@@ -27,18 +70,17 @@ type LoadSweepResult struct {
 }
 
 // loadSweepSpecs is the run matrix: one open-loop run per offered rate,
-// arrivals scheduled at a fixed interval via SubmitAt.
-func loadSweepSpecs(m workload.Model, mp Mapping, n int, rates []float64, batches int) []RunSpec {
+// arrivals scheduled via SubmitAt under the arrival spec.
+func loadSweepSpecs(m workload.Model, mp Mapping, n int, rates []float64, batches int, arr ArrivalSpec) []RunSpec {
 	specs := make([]RunSpec, len(rates))
 	for i, rate := range rates {
-		interval := sim.FromSeconds(1 / rate)
 		specs[i] = RunSpec{
 			Name:      fmt.Sprintf("loadsweep %.2f b/s", rate),
 			Model:     m,
 			Mapping:   mp,
 			Instances: n,
 			Batches:   batches,
-			SubmitAt:  func(id int) sim.Time { return sim.Time(id) * interval },
+			SubmitAt:  arr.schedule(rate, batches, int64(i)),
 		}
 	}
 	return specs
@@ -61,7 +103,7 @@ func loadPoint(rate float64, run *RunResult) *LoadPoint {
 // LoadSweep submits `batches` jobs at a fixed arrival interval and
 // records completion latencies for each offered rate.
 func LoadSweep(m workload.Model, mp Mapping, n int, rates []float64, batches int, opts ...Option) (*LoadSweepResult, error) {
-	runs, err := RunSpecs(loadSweepSpecs(m, mp, n, rates, batches), opts...)
+	runs, err := RunSpecs(loadSweepSpecs(m, mp, n, rates, batches, ArrivalSpec{}), opts...)
 	if err != nil {
 		return nil, err
 	}

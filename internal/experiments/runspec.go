@@ -7,6 +7,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/qtrace"
 	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -63,6 +64,12 @@ type RunSpec struct {
 	// back on RunResult.Obs. Nil — the default — leaves the run entirely
 	// uninstrumented, so results are byte-identical to pre-metrics builds.
 	Metrics *metrics.Options
+
+	// QTrace, when non-nil, attaches a per-query trace log to the run: every
+	// job gets a recorded timeline of phase intervals and completed queries
+	// feed the tail-latency sketch. The log rides back on RunResult.QLog.
+	// Nil — the default — keeps the GAM's query hooks at a single nil check.
+	QTrace *qtrace.Options
 }
 
 // BackgroundMode is a RunSpec's background-energy attribution policy,
@@ -122,6 +129,10 @@ func (s RunSpec) Run() (*RunResult, error) {
 		if res.Obs.Spans != nil {
 			sys.GAM().SetSpanLog(res.Obs.Spans)
 		}
+	}
+	if s.QTrace != nil {
+		res.QLog = qtrace.NewLog(*s.QTrace)
+		sys.GAM().SetQueryLog(res.QLog)
 	}
 	for b := 0; b < s.Batches; b++ {
 		j, err := build(sys, b)
@@ -218,6 +229,8 @@ type runOptions struct {
 	progress func(done, total int, name string)
 	metrics  *metrics.Options
 	observe  func(run string, res *RunResult)
+	qtrace   *qtrace.Options
+	qobserve func(run string, res *RunResult)
 }
 
 // Option adjusts how an experiment executes its runs (not what it
@@ -257,6 +270,19 @@ func WithMetrics(mo metrics.Options, observe func(run string, res *RunResult)) O
 	}
 }
 
+// WithQTrace attaches a per-query trace log to every RunSpec of the
+// experiment that does not already carry one, and — after all runs
+// complete — reports each traced result through observe in spec order
+// (deterministic regardless of worker count). observe may be nil when the
+// caller reads logs off the experiment's own result type. Same scope as
+// WithMetrics: experiments whose unit of work is not a RunSpec ignore it.
+func WithQTrace(qo qtrace.Options, observe func(run string, res *RunResult)) Option {
+	return func(o *runOptions) {
+		o.qtrace = &qo
+		o.qobserve = observe
+	}
+}
+
 func buildOptions(opts []Option) runOptions {
 	o := runOptions{ctx: context.Background()}
 	for _, fn := range opts {
@@ -279,12 +305,26 @@ func (o runOptions) runnerOptions(name func(i int) string) runner.Options {
 // failing spec cancels the rest.
 func RunSpecs(specs []RunSpec, opts ...Option) ([]*RunResult, error) {
 	o := buildOptions(opts)
-	if o.metrics != nil {
+	if o.metrics != nil || o.qtrace != nil {
 		// Copy before instrumenting: the caller's slice stays untouched.
 		instrumented := append([]RunSpec(nil), specs...)
 		for i := range instrumented {
-			if instrumented[i].Metrics == nil {
+			if o.metrics != nil && instrumented[i].Metrics == nil {
 				instrumented[i].Metrics = o.metrics
+			}
+			if o.qtrace != nil {
+				switch {
+				case instrumented[i].QTrace == nil:
+					instrumented[i].QTrace = o.qtrace
+				case instrumented[i].QTrace.Observer == nil && o.qtrace.Observer != nil:
+					// The observer is an execution knob, not part of the
+					// spec: specs carrying their own trace options (the
+					// tail-latency sweep) still feed the caller's live
+					// observer. Copy so the spec's Options stay untouched.
+					qo := *instrumented[i].QTrace
+					qo.Observer = o.qtrace.Observer
+					instrumented[i].QTrace = &qo
+				}
 			}
 		}
 		specs = instrumented
@@ -295,6 +335,13 @@ func RunSpecs(specs []RunSpec, opts ...Option) ([]*RunResult, error) {
 		for i, r := range res {
 			if r != nil && r.Obs != nil {
 				o.observe(specs[i].name(), r)
+			}
+		}
+	}
+	if err == nil && o.qobserve != nil {
+		for i, r := range res {
+			if r != nil && r.QLog != nil {
+				o.qobserve(specs[i].name(), r)
 			}
 		}
 	}

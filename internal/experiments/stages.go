@@ -12,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/energy"
 	"repro/internal/metrics"
+	"repro/internal/qtrace"
 	"repro/internal/sim"
 	"repro/internal/storage"
 	"repro/internal/workload"
@@ -226,6 +227,9 @@ type RunResult struct {
 	// Obs is the run's observability recorder — nil unless the spec set
 	// Metrics (see RunSpec.Metrics).
 	Obs *metrics.Recorder
+	// QLog is the run's per-query trace log — nil unless the spec set
+	// QTrace (see RunSpec.QTrace).
+	QLog *qtrace.Log
 }
 
 // PhaseWindows reduces the run to attribution phases: one window per

@@ -1,0 +1,219 @@
+// Package inspect is the live run inspector behind `reachsim -http`: a
+// small HTTP server that exposes, while experiments execute, the query
+// completion counters and current latency quantiles (via the qtrace
+// observer hook), per-resource busy fractions from completed runs, expvar
+// counters, and net/http/pprof profiling endpoints.
+//
+// The server aggregates across every run of the process: simulations run
+// on worker goroutines, so all state behind the handlers is mutex
+// protected. Observer callbacks stay O(1) — they run inside simulation
+// event loops.
+package inspect
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+
+	"repro/internal/qtrace"
+	"repro/internal/sim"
+)
+
+// ResourceBusy is one resource's utilization in a progress snapshot.
+type ResourceBusy struct {
+	Name    string  `json:"name"`
+	BusyPct float64 `json:"busy_pct"`
+}
+
+// Snapshot is the JSON shape served at /progress.
+type Snapshot struct {
+	UptimeSeconds    float64 `json:"uptime_seconds"`
+	QueriesCompleted uint64  `json:"queries_completed"`
+	P50Ms            float64 `json:"p50_ms"`
+	P95Ms            float64 `json:"p95_ms"`
+	P99Ms            float64 `json:"p99_ms"`
+	P999Ms           float64 `json:"p999_ms"`
+	RunsObserved     int     `json:"runs_observed"`
+	LastRun          string  `json:"last_run,omitempty"`
+	// Resources carries the most recent completed run's per-resource busy
+	// fractions, in registry (sorted-name) order.
+	Resources []ResourceBusy `json:"resources,omitempty"`
+}
+
+// Server is the inspector. It implements qtrace.Observer, so wiring it as
+// the Observer of every run's qtrace.Options feeds the live counters.
+type Server struct {
+	mu        sync.Mutex
+	ln        net.Listener
+	srv       *http.Server
+	started   time.Time
+	queries   uint64
+	sketch    *qtrace.Sketch
+	runsDone  int
+	lastRun   string
+	resources []ResourceBusy
+}
+
+// New returns an inspector with empty counters. Call Start to serve.
+func New() *Server {
+	return &Server{sketch: qtrace.NewSketch(0), started: time.Now()}
+}
+
+// QueryDone implements qtrace.Observer: one completed query's end-to-end
+// latency folds into the global sketch.
+func (s *Server) QueryDone(_ int, latency sim.Time) {
+	s.mu.Lock()
+	s.queries++
+	s.sketch.Add(latency)
+	s.mu.Unlock()
+}
+
+// ObserveRun records one completed run: its label and the per-resource
+// busy fractions from its stats registry (replacing the previous run's).
+// Call it only after the run's engine has drained — the registry walk
+// reads model internals that are not synchronized during simulation.
+func (s *Server) ObserveRun(run string, reg *sim.StatsRegistry) {
+	var res []ResourceBusy
+	reg.Walk(func(name string, r sim.Resource) {
+		res = append(res, ResourceBusy{Name: name, BusyPct: r.ResourceStats().Utilization * 100})
+	})
+	s.mu.Lock()
+	s.runsDone++
+	s.lastRun = run
+	s.resources = res
+	s.mu.Unlock()
+}
+
+// Snapshot returns the current progress state.
+func (s *Server) Snapshot() Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap := Snapshot{
+		UptimeSeconds:    time.Since(s.started).Seconds(),
+		QueriesCompleted: s.queries,
+		RunsObserved:     s.runsDone,
+		LastRun:          s.lastRun,
+		Resources:        append([]ResourceBusy(nil), s.resources...),
+	}
+	if s.sketch.Count() > 0 {
+		snap.P50Ms = s.sketch.Quantile(0.5).Milliseconds()
+		snap.P95Ms = s.sketch.Quantile(0.95).Milliseconds()
+		snap.P99Ms = s.sketch.Quantile(0.99).Milliseconds()
+		snap.P999Ms = s.sketch.Quantile(0.999).Milliseconds()
+	}
+	return snap
+}
+
+// active is the server expvar reads from: the expvar registry is global
+// and rejects re-publishing a name, so the package publishes its vars once
+// and routes them through this pointer (tests start several servers).
+var (
+	activeMu sync.Mutex
+	active   *Server
+	publish  sync.Once
+)
+
+func snapshotActive() (Snapshot, bool) {
+	activeMu.Lock()
+	s := active
+	activeMu.Unlock()
+	if s == nil {
+		return Snapshot{}, false
+	}
+	return s.Snapshot(), true
+}
+
+func publishVars() {
+	expvar.Publish("qtrace_queries_completed", expvar.Func(func() any {
+		snap, _ := snapshotActive()
+		return snap.QueriesCompleted
+	}))
+	expvar.Publish("qtrace_p99_ms", expvar.Func(func() any {
+		snap, _ := snapshotActive()
+		return snap.P99Ms
+	}))
+	expvar.Publish("qtrace_resources_busy_pct", expvar.Func(func() any {
+		snap, _ := snapshotActive()
+		out := map[string]float64{}
+		for _, r := range snap.Resources {
+			out[r.Name] = r.BusyPct
+		}
+		return out
+	}))
+}
+
+// Start listens on addr (":8080", or "127.0.0.1:0" for an ephemeral port)
+// and serves the inspector endpoints: /progress (JSON snapshot),
+// /debug/vars (expvar) and /debug/pprof. The server becomes the target of
+// the package's expvar readings until Close.
+func (s *Server) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	publish.Do(publishVars)
+	activeMu.Lock()
+	active = s
+	activeMu.Unlock()
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/progress", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(s.Snapshot()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprintf(w, "reachsim inspector\n\n/progress    JSON progress snapshot\n/debug/vars  expvar counters\n/debug/pprof profiling\n")
+	})
+
+	s.mu.Lock()
+	s.ln = ln
+	s.srv = &http.Server{Handler: mux}
+	s.mu.Unlock()
+	go s.srv.Serve(ln) //nolint:errcheck // Serve always returns on Close
+	return nil
+}
+
+// Addr reports the bound address (host:port) after Start.
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the HTTP server and detaches the expvar readings.
+func (s *Server) Close() error {
+	activeMu.Lock()
+	if active == s {
+		active = nil
+	}
+	activeMu.Unlock()
+	s.mu.Lock()
+	srv := s.srv
+	s.mu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	return srv.Close()
+}

@@ -1,0 +1,153 @@
+package inspect
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/qtrace"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// The server must plug straight into qtrace.Options.Observer.
+var _ qtrace.Observer = (*Server)(nil)
+
+func get(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// TestServerEndpoints drives the inspector the way `reachsim -http` does:
+// query completions through the observer hook, a finished run's registry
+// through ObserveRun, then the HTTP surface — /progress JSON, expvar,
+// pprof index and the root help page.
+func TestServerEndpoints(t *testing.T) {
+	s := New()
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	base := "http://" + s.Addr()
+
+	for i := 0; i < 100; i++ {
+		s.QueryDone(i, sim.Time(i+1)*sim.Millisecond)
+	}
+	run, err := experiments.RunPipeline(workload.DefaultModel(), experiments.ReACHMapping(), 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.ObserveRun("pipeline", run.Sys.Engine().Stats())
+
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(get(t, base+"/progress")), &snap); err != nil {
+		t.Fatalf("/progress is not valid JSON: %v", err)
+	}
+	if snap.QueriesCompleted != 100 {
+		t.Errorf("queries_completed = %d, want 100", snap.QueriesCompleted)
+	}
+	// 100 samples of 1..100 ms: p50 near 50 ms, p99 near 99 ms, within the
+	// sketch's relative error.
+	if snap.P50Ms < 45 || snap.P50Ms > 55 {
+		t.Errorf("p50_ms = %v, want ~50", snap.P50Ms)
+	}
+	if snap.P99Ms < 90 || snap.P99Ms > 105 {
+		t.Errorf("p99_ms = %v, want ~99", snap.P99Ms)
+	}
+	if snap.P99Ms < snap.P50Ms {
+		t.Errorf("p99 %v < p50 %v", snap.P99Ms, snap.P50Ms)
+	}
+	if snap.RunsObserved != 1 || snap.LastRun != "pipeline" {
+		t.Errorf("runs_observed = %d last_run = %q, want 1 %q",
+			snap.RunsObserved, snap.LastRun, "pipeline")
+	}
+	if len(snap.Resources) == 0 {
+		t.Fatal("no per-resource busy fractions in snapshot")
+	}
+	for _, r := range snap.Resources {
+		if r.BusyPct < 0 || r.BusyPct > 100 {
+			t.Errorf("resource %s busy %.1f%% out of range", r.Name, r.BusyPct)
+		}
+	}
+
+	vars := get(t, base+"/debug/vars")
+	for _, want := range []string{"qtrace_queries_completed", "qtrace_p99_ms", "qtrace_resources_busy_pct"} {
+		if !strings.Contains(vars, want) {
+			t.Errorf("/debug/vars missing %q", want)
+		}
+	}
+	if !strings.Contains(vars, `"qtrace_queries_completed": 100`) {
+		t.Errorf("/debug/vars does not report 100 completed queries:\n%.500s", vars)
+	}
+	if !strings.Contains(get(t, base+"/debug/pprof/"), "profile") {
+		t.Error("pprof index not served")
+	}
+	if !strings.Contains(get(t, base+"/"), "/progress") {
+		t.Error("root help page missing endpoint list")
+	}
+}
+
+// TestSecondServerTakesOverExpvar: expvar names are published once per
+// process; starting a second server (new run, new test) must not panic and
+// must route the global vars to the newest server.
+func TestSecondServerTakesOverExpvar(t *testing.T) {
+	a := New()
+	if err := a.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	a.QueryDone(0, sim.Millisecond)
+	b := New()
+	if err := b.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	b.QueryDone(0, sim.Millisecond)
+	b.QueryDone(1, sim.Millisecond)
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	vars := get(t, fmt.Sprintf("http://%s/debug/vars", b.Addr()))
+	if !strings.Contains(vars, `"qtrace_queries_completed": 2`) {
+		t.Errorf("expvar not routed to the active server:\n%.500s", vars)
+	}
+	// After the active server closes, the vars go quiet instead of panicking.
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if snap, ok := snapshotActive(); ok {
+		t.Errorf("active snapshot still live after Close: %+v", snap)
+	}
+}
+
+// TestProgressEmptyServer: a just-started inspector serves zeros, not NaNs
+// or errors.
+func TestProgressEmptyServer(t *testing.T) {
+	s := New()
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(get(t, "http://"+s.Addr()+"/progress")), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.QueriesCompleted != 0 || snap.P99Ms != 0 || snap.RunsObserved != 0 {
+		t.Errorf("empty server snapshot not zero: %+v", snap)
+	}
+}

@@ -1,0 +1,193 @@
+package qtrace
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// intervalHeader is the stable schema of the per-query interval CSV dump.
+// The qtrace-smoke CI target validates files against it.
+var intervalHeader = []string{
+	"run", "query", "job", "phase", "stage", "level", "detail",
+	"start_us", "end_us", "dur_us",
+}
+
+// summaryHeader is the stable schema of the per-query summary CSV: one row
+// per completed query with its latency and dominant attribution.
+var summaryHeader = []string{
+	"run", "query", "job", "arrival_us", "done_us", "latency_us",
+	"intervals", "dominant_phase", "dominant_stage", "dominant_level",
+	"dominant_share",
+}
+
+// IntervalCSVHeader returns a copy of the interval CSV schema.
+func IntervalCSVHeader() []string { return append([]string(nil), intervalHeader...) }
+
+// SummaryCSVHeader returns a copy of the summary CSV schema.
+func SummaryCSVHeader() []string { return append([]string(nil), summaryHeader...) }
+
+// CSVWriter streams one or more runs' query logs as CSV. Interval rows and
+// summary rows go to two separate writers because their schemas differ;
+// either may be nil to skip that output.
+type CSVWriter struct {
+	intervals *csv.Writer
+	summary   *csv.Writer
+	wroteIH   bool
+	wroteSH   bool
+}
+
+// NewCSVWriter writes interval rows to intervals and per-query summary
+// rows to summary (either may be nil).
+func NewCSVWriter(intervals, summary io.Writer) *CSVWriter {
+	w := &CSVWriter{}
+	if intervals != nil {
+		w.intervals = csv.NewWriter(intervals)
+	}
+	if summary != nil {
+		w.summary = csv.NewWriter(summary)
+	}
+	return w
+}
+
+// WriteRun appends every query of one run, labelled run in the first
+// column, in QueryID order. Headers are written once, before the first
+// row of each file.
+func (w *CSVWriter) WriteRun(run string, l *Log) error {
+	for _, q := range l.Queries() {
+		if w.intervals != nil {
+			if !w.wroteIH {
+				if err := w.intervals.Write(intervalHeader); err != nil {
+					return err
+				}
+				w.wroteIH = true
+			}
+			for _, iv := range q.Intervals {
+				err := w.intervals.Write([]string{
+					run,
+					fmt.Sprintf("%d", q.ID),
+					fmt.Sprintf("%d", q.Job),
+					iv.Phase, iv.Stage, iv.Level, iv.Detail,
+					fmt.Sprintf("%.3f", iv.Start.Microseconds()),
+					fmt.Sprintf("%.3f", iv.End.Microseconds()),
+					fmt.Sprintf("%.3f", iv.Duration().Microseconds()),
+				})
+				if err != nil {
+					return err
+				}
+			}
+		}
+		if w.summary != nil && q.Completed() {
+			if !w.wroteSH {
+				if err := w.summary.Write(summaryHeader); err != nil {
+					return err
+				}
+				w.wroteSH = true
+			}
+			dom := q.Dominant()
+			err := w.summary.Write([]string{
+				run,
+				fmt.Sprintf("%d", q.ID),
+				fmt.Sprintf("%d", q.Job),
+				fmt.Sprintf("%.3f", q.Arrival.Microseconds()),
+				fmt.Sprintf("%.3f", q.Done.Microseconds()),
+				fmt.Sprintf("%.3f", q.Latency().Microseconds()),
+				fmt.Sprintf("%d", len(q.Intervals)),
+				dom.Phase, dom.Stage, dom.Level,
+				fmt.Sprintf("%.4f", dom.Share),
+			})
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return w.Flush()
+}
+
+// Flush flushes buffered rows and reports any write error.
+func (w *CSVWriter) Flush() error {
+	for _, cw := range []*csv.Writer{w.intervals, w.summary} {
+		if cw == nil {
+			continue
+		}
+		cw.Flush()
+		if err := cw.Error(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// jsonInterval is the JSONL shape of one timeline interval.
+type jsonInterval struct {
+	Run     string  `json:"run"`
+	Type    string  `json:"type"` // "interval"
+	Query   int     `json:"query"`
+	Job     int     `json:"job"`
+	Phase   string  `json:"phase"`
+	Stage   string  `json:"stage,omitempty"`
+	Level   string  `json:"level,omitempty"`
+	Detail  string  `json:"detail,omitempty"`
+	StartUS float64 `json:"start_us"`
+	EndUS   float64 `json:"end_us"`
+}
+
+// jsonQuery is the JSONL shape of one completed query's summary.
+type jsonQuery struct {
+	Run           string  `json:"run"`
+	Type          string  `json:"type"` // "query"
+	Query         int     `json:"query"`
+	Job           int     `json:"job"`
+	ArrivalUS     float64 `json:"arrival_us"`
+	DoneUS        float64 `json:"done_us"`
+	LatencyUS     float64 `json:"latency_us"`
+	DominantPhase string  `json:"dominant_phase,omitempty"`
+	DominantStage string  `json:"dominant_stage,omitempty"`
+	DominantLevel string  `json:"dominant_level,omitempty"`
+	DominantShare float64 `json:"dominant_share,omitempty"`
+}
+
+// JSONLWriter streams query logs as JSON Lines: every interval as a
+// {"type":"interval"} object and every completed query as a
+// {"type":"query"} summary object.
+type JSONLWriter struct {
+	enc *json.Encoder
+}
+
+// NewJSONLWriter wraps w.
+func NewJSONLWriter(w io.Writer) *JSONLWriter {
+	return &JSONLWriter{enc: json.NewEncoder(w)}
+}
+
+// WriteRun appends one run's queries, labelled run, in QueryID order.
+func (j *JSONLWriter) WriteRun(run string, l *Log) error {
+	for _, q := range l.Queries() {
+		for _, iv := range q.Intervals {
+			err := j.enc.Encode(jsonInterval{
+				Run: run, Type: "interval", Query: q.ID, Job: q.Job,
+				Phase: iv.Phase, Stage: iv.Stage, Level: iv.Level,
+				Detail: iv.Detail, StartUS: iv.Start.Microseconds(),
+				EndUS: iv.End.Microseconds(),
+			})
+			if err != nil {
+				return err
+			}
+		}
+		if !q.Completed() {
+			continue
+		}
+		dom := q.Dominant()
+		err := j.enc.Encode(jsonQuery{
+			Run: run, Type: "query", Query: q.ID, Job: q.Job,
+			ArrivalUS: q.Arrival.Microseconds(), DoneUS: q.Done.Microseconds(),
+			LatencyUS:     q.Latency().Microseconds(),
+			DominantPhase: dom.Phase, DominantStage: dom.Stage,
+			DominantLevel: dom.Level, DominantShare: dom.Share,
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,299 @@
+// Package qtrace is the per-query observability layer: where
+// internal/metrics answers "which resource was under pressure when", this
+// package answers "where did query 1041's time go". The GAM assigns every
+// submitted job a QueryID and, when a Log is attached, records a timeline
+// of phase intervals for it — queue wait per stage (with the dispatch
+// cause tag), accelerator execution, FPGA reconfiguration stalls,
+// poll-detection gaps, and inter-level data movement. Completed queries
+// fold their end-to-end latency into an allocation-free log-bucketed
+// quantile sketch (p50/p95/p99/p999 with a documented relative-error
+// bound) and reduce their timeline to a critical-path attribution: the
+// phase whose merged intervals cover the largest share of the query's
+// lifetime ("query 1041: 62% shortlist queue wait at near-memory").
+//
+// The layer is zero-cost when disabled: nothing is attached and the model
+// hot paths pay a single nil check per hook (gated by
+// TestQTraceDisabledZeroAlloc, same standard as the metrics span hooks).
+package qtrace
+
+import (
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Phase kinds — where a slice of a query's lifetime went.
+const (
+	// PhaseQueue is ready-instant to dispatch for one task: time spent in a
+	// GAM scheduling queue. Detail carries the dispatch cause tag
+	// (metrics.Cause*).
+	PhaseQueue = "queue"
+	// PhaseExec is command arrival to device-side completion on an
+	// accelerator. Detail carries the instance name.
+	PhaseExec = "exec"
+	// PhaseReconfig is a partial-reconfiguration stall before execution
+	// (a different kernel template was resident). Detail carries the
+	// kernel name.
+	PhaseReconfig = "reconfig"
+	// PhasePollGap is device completion to GAM detection for a polled
+	// (non-coherent) task. Detail carries the instance name.
+	PhasePollGap = "pollgap"
+	// PhaseXfer is an inter-level DMA moving a task's output stream down
+	// or up the hierarchy. Detail carries the "src-dst" level pair in the
+	// same spelling as the shared stream buffers ("onchip-nearmem"), which
+	// names the physical links crossed (AIMbus, PCIe, NoC, flash).
+	PhaseXfer = "xfer"
+)
+
+// Interval is one recorded slice of a query's timeline.
+type Interval struct {
+	Phase string
+	// Stage is the pipeline-stage label of the affected task ("" for
+	// intervals not tied to one stage).
+	Stage string
+	// Level is the compute level the interval happened at (accel.Level
+	// spelling; the destination level for transfers).
+	Level string
+	// Detail is phase-specific: cause tag, instance, kernel, or level
+	// pair — see the Phase constants.
+	Detail string
+	Start  sim.Time
+	End    sim.Time
+}
+
+// Duration reports End − Start.
+func (iv Interval) Duration() sim.Time { return iv.End - iv.Start }
+
+// Attribution is one phase's merged share of a query's lifetime: the
+// union of its intervals (overlaps between parallel tasks of the same
+// phase count once), as covered time and as a fraction of the query's
+// end-to-end latency.
+type Attribution struct {
+	Phase string
+	Stage string
+	Level string
+	// Covered is the union length of the phase's intervals.
+	Covered sim.Time
+	// Share is Covered over the query's latency, in [0, 1].
+	Share float64
+}
+
+// Query is one traced request: identity, the lifetime bounds, the
+// recorded timeline, and — once completed — its attribution.
+type Query struct {
+	ID  int
+	Job int
+	// Arrival and Done bound the query: GAM submission to host interrupt.
+	Arrival sim.Time
+	Done    sim.Time
+	// Intervals is the recorded timeline in emission order (nil after
+	// completion when Options.DropTimelines is set).
+	Intervals []Interval
+
+	// Attribution is the per-phase breakdown, sorted by descending
+	// Covered (ties by phase/stage/level name), computed at completion.
+	// Attribution[0] is the dominant phase.
+	Attribution []Attribution
+
+	done bool
+}
+
+// Latency reports Done − Arrival (zero before completion).
+func (q *Query) Latency() sim.Time {
+	if !q.done {
+		return 0
+	}
+	return q.Done - q.Arrival
+}
+
+// Completed reports whether the query finished.
+func (q *Query) Completed() bool { return q.done }
+
+// Dominant returns the top attribution (zero value before completion or
+// for a query that recorded no intervals).
+func (q *Query) Dominant() Attribution {
+	if len(q.Attribution) == 0 {
+		return Attribution{}
+	}
+	return q.Attribution[0]
+}
+
+// Observer sees every query completion as it happens, on the simulation
+// goroutine — the hook the live run inspector aggregates from. Keep
+// implementations cheap; they run inside the event loop.
+type Observer interface {
+	QueryDone(id int, latency sim.Time)
+}
+
+// Options configures a Log.
+type Options struct {
+	// Alpha is the latency sketch's relative-error bound (<= 0 means
+	// DefaultAlpha, 1%).
+	Alpha float64
+	// DropTimelines releases each query's interval slice once its
+	// attribution is computed, bounding memory on long sweeps. Attribution
+	// and the latency sketch are unaffected.
+	DropTimelines bool
+	// Observer, when non-nil, is notified of every completion.
+	Observer Observer
+}
+
+// Log records per-query timelines for one run (one GAM). It is not safe
+// for concurrent use; like the engine it rides on, it belongs to a single
+// simulation goroutine.
+type Log struct {
+	opt     Options
+	sketch  *Sketch
+	queries []*Query
+	done    uint64
+}
+
+// NewLog returns an empty log.
+func NewLog(o Options) *Log {
+	return &Log{opt: o, sketch: NewSketch(o.Alpha)}
+}
+
+// Submitted opens query qid (the GAM's monotonically assigned QueryID)
+// for job job at simulated time at. IDs must arrive in order — they index
+// the log's dense query table.
+func (l *Log) Submitted(qid, job int, at sim.Time) {
+	for len(l.queries) <= qid {
+		l.queries = append(l.queries, nil)
+	}
+	l.queries[qid] = &Query{ID: qid, Job: job, Arrival: at}
+}
+
+// Add appends one interval to an open query's timeline. Intervals for
+// unknown queries are dropped (a Log attached mid-run sees tails of
+// queries it never saw submitted).
+func (l *Log) Add(qid int, iv Interval) {
+	if qid < 0 || qid >= len(l.queries) || l.queries[qid] == nil {
+		return
+	}
+	l.queries[qid].Intervals = append(l.queries[qid].Intervals, iv)
+}
+
+// Completed closes query qid at simulated time at: records its latency in
+// the sketch, reduces its timeline to attributions, and notifies the
+// observer.
+func (l *Log) Completed(qid int, at sim.Time) {
+	if qid < 0 || qid >= len(l.queries) || l.queries[qid] == nil {
+		return
+	}
+	q := l.queries[qid]
+	q.Done = at
+	q.done = true
+	l.done++
+	l.sketch.Add(q.Latency())
+	q.Attribution = attribute(q)
+	if l.opt.DropTimelines {
+		q.Intervals = nil
+	}
+	if l.opt.Observer != nil {
+		l.opt.Observer.QueryDone(qid, q.Latency())
+	}
+}
+
+// CompletedCount reports how many queries finished.
+func (l *Log) CompletedCount() uint64 { return l.done }
+
+// Sketch exposes the end-to-end latency sketch over completed queries.
+func (l *Log) Sketch() *Sketch { return l.sketch }
+
+// Queries returns every known query in QueryID order (entries the log
+// never saw submitted are skipped). The slice is freshly allocated; the
+// Query pointers are the log's own.
+func (l *Log) Queries() []*Query {
+	out := make([]*Query, 0, len(l.queries))
+	for _, q := range l.queries {
+		if q != nil {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// Query looks up one query by ID (nil when unknown).
+func (l *Log) Query(qid int) *Query {
+	if qid < 0 || qid >= len(l.queries) {
+		return nil
+	}
+	return l.queries[qid]
+}
+
+// attKey groups intervals for attribution.
+type attKey struct{ phase, stage, level string }
+
+// attribute reduces a completed query's timeline to per-phase coverage:
+// for each (phase, stage, level) key, the union length of its intervals
+// clamped to the query's [Arrival, Done] window, sorted by descending
+// coverage with name tie-breaks so the result is deterministic.
+func attribute(q *Query) []Attribution {
+	if len(q.Intervals) == 0 {
+		return nil
+	}
+	lat := q.Done - q.Arrival
+	groups := make(map[attKey][]Interval)
+	var keys []attKey
+	for _, iv := range q.Intervals {
+		k := attKey{iv.Phase, iv.Stage, iv.Level}
+		if _, ok := groups[k]; !ok {
+			keys = append(keys, k)
+		}
+		groups[k] = append(groups[k], iv)
+	}
+	out := make([]Attribution, 0, len(keys))
+	for _, k := range keys {
+		ivs := groups[k]
+		sort.Slice(ivs, func(i, j int) bool {
+			if ivs[i].Start != ivs[j].Start {
+				return ivs[i].Start < ivs[j].Start
+			}
+			return ivs[i].End < ivs[j].End
+		})
+		var covered sim.Time
+		hi := sim.Time(-1)
+		lo := sim.Time(0)
+		for _, iv := range ivs {
+			s, e := iv.Start, iv.End
+			if s < q.Arrival {
+				s = q.Arrival
+			}
+			if e > q.Done {
+				e = q.Done
+			}
+			if e <= s {
+				continue
+			}
+			if hi < 0 || s > hi {
+				if hi >= 0 {
+					covered += hi - lo
+				}
+				lo, hi = s, e
+			} else if e > hi {
+				hi = e
+			}
+		}
+		if hi >= 0 {
+			covered += hi - lo
+		}
+		att := Attribution{Phase: k.phase, Stage: k.stage, Level: k.level, Covered: covered}
+		if lat > 0 {
+			att.Share = float64(covered) / float64(lat)
+		}
+		out = append(out, att)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Covered != out[j].Covered {
+			return out[i].Covered > out[j].Covered
+		}
+		if out[i].Phase != out[j].Phase {
+			return out[i].Phase < out[j].Phase
+		}
+		if out[i].Stage != out[j].Stage {
+			return out[i].Stage < out[j].Stage
+		}
+		return out[i].Level < out[j].Level
+	})
+	return out
+}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/qtrace"
 )
 
 // AddJobs records a batch of jobs, keeping every job that can be traced
@@ -68,6 +69,52 @@ func (t *Timeline) AddCounters(s *metrics.Sampler) {
 				}
 			}
 			prevIdx = i
+		}
+	}
+}
+
+// AddQueries merges a per-query trace log into the timeline: one lane per
+// query, carrying the query's end-to-end window (with its dominant
+// attribution in args) and every recorded phase interval as nested "X"
+// slices — the timeline answer to "where did query N's time go".
+func (t *Timeline) AddQueries(l *qtrace.Log) {
+	for _, q := range l.Queries() {
+		lane := t.lane(fmt.Sprintf("query %d", q.ID))
+		if q.Completed() {
+			args := map[string]any{
+				"job":        q.Job,
+				"latency_ms": q.Latency().Milliseconds(),
+			}
+			if dom := q.Dominant(); dom.Phase != "" {
+				args["dominant"] = fmt.Sprintf("%.0f%% %s %s@%s",
+					dom.Share*100, dom.Phase, dom.Stage, dom.Level)
+			}
+			t.events = append(t.events, Event{
+				Name:  fmt.Sprintf("query %d", q.ID),
+				Cat:   "query",
+				Phase: "X",
+				TS:    us(q.Arrival),
+				Dur:   us(q.Done - q.Arrival),
+				PID:   1,
+				TID:   lane,
+				Args:  args,
+			})
+		}
+		for _, iv := range q.Intervals {
+			t.events = append(t.events, Event{
+				Name:  fmt.Sprintf("%s %s", iv.Phase, iv.Stage),
+				Cat:   iv.Phase,
+				Phase: "X",
+				TS:    us(iv.Start),
+				Dur:   us(iv.Duration()),
+				PID:   1,
+				TID:   lane,
+				Args: map[string]any{
+					"stage":  iv.Stage,
+					"level":  iv.Level,
+					"detail": iv.Detail,
+				},
+			})
 		}
 	}
 }

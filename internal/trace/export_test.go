@@ -1,12 +1,14 @@
 package trace
 
 import (
+	"bytes"
 	"strings"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/metrics"
+	"repro/internal/qtrace"
 	"repro/internal/workload"
 )
 
@@ -76,5 +78,49 @@ func TestAddCountersAndSpans(t *testing.T) {
 	}
 	if !sawDispatchLane {
 		t.Error("no dispatch span lane in timeline")
+	}
+}
+
+// TestAddQueries: a traced run merges into the timeline as one lane per
+// query, each carrying the end-to-end query slice (with its dominant
+// attribution) plus every recorded phase interval.
+func TestAddQueries(t *testing.T) {
+	spec := experiments.PipelineSpec("p", workload.DefaultModel(), experiments.ReACHMapping(), 2, 3)
+	spec.QTrace = &qtrace.Options{}
+	run, err := spec.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl := NewTimeline()
+	if err := tl.AddJobs(run.Jobs); err != nil {
+		t.Fatal(err)
+	}
+	before := tl.Events()
+	tl.AddQueries(run.QLog)
+	wantEvents := 0
+	for _, q := range run.QLog.Queries() {
+		wantEvents += 1 + len(q.Intervals) // query slice + its intervals
+	}
+	if got := tl.Events() - before; got != wantEvents {
+		t.Fatalf("AddQueries added %d events, want %d", got, wantEvents)
+	}
+	queryLanes := 0
+	for _, l := range tl.Lanes() {
+		if strings.HasPrefix(l, "query ") {
+			queryLanes++
+		}
+	}
+	if queryLanes != 3 {
+		t.Fatalf("query lanes = %d, want 3", queryLanes)
+	}
+	var buf bytes.Buffer
+	if err := tl.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"query 0"`, `"dominant"`, qtrace.PhaseQueue, qtrace.PhaseExec} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace JSON missing %q", want)
+		}
 	}
 }
