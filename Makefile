@@ -12,12 +12,17 @@
 #                      sweep with the live inspector on an ephemeral port,
 #                      curl its progress/expvar endpoints mid-run, then
 #                      validate the per-query CSV dumps
+#   make cluster-smoke — cluster scatter-gather check: a pinned 4-node
+#                      run with the inspector on an ephemeral port, its
+#                      summary table diffed against the committed golden
+#                      and the inspector snapshots validated
 
 GO ?= go
 SMOKE_DIR := metrics-smoke-out
 QSMOKE_DIR := qtrace-smoke-out
+CSMOKE_DIR := cluster-smoke-out
 
-.PHONY: check fmt-check build vet test race bench bench-smoke metrics-smoke qtrace-smoke
+.PHONY: check fmt-check build vet test race bench bench-smoke metrics-smoke qtrace-smoke cluster-smoke
 
 check: fmt-check build vet race
 
@@ -81,3 +86,27 @@ qtrace-smoke:
 	curl -sf "http://$$addr/debug/vars" > $(QSMOKE_DIR)/expvar.json || { kill $$pid 2>/dev/null; exit 1; }; \
 	kill $$pid; wait $$pid 2>/dev/null || true
 	QTRACE_SMOKE_DIR=$$PWD/$(QSMOKE_DIR) $(GO) test -run TestQTraceSmokeArtifacts -v ./cmd/reachsim/
+
+# Cluster scatter-gather smoke: the pinned 4-node -cluster run with the
+# live inspector on an ephemeral port. The recipe waits for the run to
+# drain, scrapes /progress and /debug/vars, diffs the summary table
+# against the committed golden, then validates every artifact via the
+# env-gated test in cmd/reachsim.
+cluster-smoke:
+	rm -rf $(CSMOKE_DIR) && mkdir -p $(CSMOKE_DIR)
+	$(GO) build -o $(CSMOKE_DIR)/reachsim ./cmd/reachsim
+	@set -e; \
+	$(CSMOKE_DIR)/reachsim -cluster -http 127.0.0.1:0 -http-linger 120s \
+		> $(CSMOKE_DIR)/report.txt 2> $(CSMOKE_DIR)/stderr.log & \
+	pid=$$!; \
+	for i in $$(seq 1 600); do \
+		grep -q '^cluster run complete' $(CSMOKE_DIR)/stderr.log && break; sleep 0.1; \
+	done; \
+	if ! grep -q '^cluster run complete' $(CSMOKE_DIR)/stderr.log; then \
+		echo "cluster run never finished"; kill $$pid 2>/dev/null; exit 1; fi; \
+	addr=$$(sed -n 's#^inspector listening on http://##p' $(CSMOKE_DIR)/stderr.log); \
+	curl -sf "http://$$addr/progress" > $(CSMOKE_DIR)/progress.json || { kill $$pid 2>/dev/null; exit 1; }; \
+	curl -sf "http://$$addr/debug/vars" > $(CSMOKE_DIR)/expvar.json || { kill $$pid 2>/dev/null; exit 1; }; \
+	kill $$pid; wait $$pid 2>/dev/null || true
+	diff cmd/reachsim/testdata/cluster_smoke.golden $(CSMOKE_DIR)/report.txt
+	CLUSTER_SMOKE_DIR=$$PWD/$(CSMOKE_DIR) $(GO) test -run TestClusterSmokeArtifacts -v ./cmd/reachsim/

@@ -251,6 +251,31 @@ func BenchmarkReverseLookup(b *testing.B) {
 	b.ReportMetric(cost*100, "throughput_cost_%")
 }
 
+// BenchmarkClusterScatterGather runs the full cluster scale-out sweep
+// (2/4 nodes x hash/rr/p2c x three Poisson rates) and reports the headline
+// routing-policy payoff: hash p99 over p2c p99 at the largest swept
+// deployment and rate.
+func BenchmarkClusterScatterGather(b *testing.B) {
+	m := workload.DefaultModel()
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.DefaultClusterSweep(m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		nodes := experiments.DefaultClusterNodeCounts()
+		rates := experiments.DefaultClusterRates()
+		maxNodes, maxRate := nodes[len(nodes)-1], rates[len(rates)-1]
+		hash := res.Point(maxNodes, "hash", maxRate)
+		p2c := res.Point(maxNodes, "p2c", maxRate)
+		if hash == nil || p2c == nil || p2c.P99 <= 0 {
+			b.Fatal("sweep missing hash/p2c cells at peak")
+		}
+		ratio = float64(hash.P99) / float64(p2c.P99)
+	}
+	b.ReportMetric(ratio, "hash_over_p2c_p99_x")
+}
+
 // runFullEvaluation executes every simulator-backed experiment once with at
 // most `workers` simulations in flight across all of them — the same shape
 // as `reachsim -exp all -j workers`.

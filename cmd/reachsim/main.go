@@ -8,6 +8,9 @@
 //	reachsim -exp all -j 8         # everything, 8 simulations in flight
 //	reachsim -exp fig9 -csv        # CSV instead of aligned text
 //	reachsim -exp taillatency      # Poisson open-loop tail-latency sweep
+//	reachsim -exp clustersweep     # N-node scatter-gather scale-out sweep
+//	reachsim -cluster              # one 4-node cluster run, summary table
+//	reachsim -cluster -nodes 8 -route hash
 //	reachsim -exp all -http :8080  # live inspector while experiments run
 //	reachsim -list                 # list experiment ids
 package main
@@ -46,9 +49,18 @@ var experimentIDs = []string{
 }
 
 // extraIDs are runnable and listed but excluded from `-exp all`: the tail
-// sweep's Poisson runs don't belong to the paper's evaluation tables, and
-// keeping them out preserves `-exp all` output byte-for-byte.
-var extraIDs = []string{"taillatency"}
+// sweep's Poisson runs and the cluster scale-out don't belong to the
+// paper's evaluation tables, and keeping them out preserves `-exp all`
+// output byte-for-byte.
+var extraIDs = []string{"clustersweep", "taillatency"}
+
+// Fixed inputs of the -cluster single run, pinned so its stdout is a
+// stable golden for the CI cluster smoke.
+const (
+	clusterRunQueries = 32
+	clusterRunQPS     = 20
+	clusterRunSeed    = 1
+)
 
 func main() {
 	var (
@@ -69,6 +81,9 @@ func main() {
 		qtraceF   = flag.String("qtrace", "", "trace every query and write per-query timelines here (interval CSV plus a *_summary.csv, or a single JSON Lines file when the path ends in .jsonl)")
 		httpAddr  = flag.String("http", "", "serve a live run inspector on this address (/progress JSON, expvar at /debug/vars, pprof at /debug/pprof); implies per-query tracing")
 		httpWait  = flag.Duration("http-linger", 0, "with -http, keep the inspector serving this long after the experiments finish, so scripts can scrape the final counters")
+		clusterF  = flag.Bool("cluster", false, "run one sharded scatter-gather cluster deployment and print its summary table")
+		nodesF    = flag.Int("nodes", 0, "with -cluster, override the node count (default 4)")
+		routeF    = flag.String("route", "", "with -cluster, override the routing policy: hash, rr, p2c (default p2c)")
 	)
 	flag.Parse()
 
@@ -133,10 +148,13 @@ func main() {
 	}
 
 	if *list {
-		ids := append(append([]string(nil), experimentIDs...), extraIDs...)
-		sort.Strings(ids)
-		for _, id := range ids {
-			fmt.Println(id)
+		fmt.Print(listOutput())
+		return
+	}
+
+	if *clusterF {
+		if err := runCluster(os.Stdout, *nodesF, *routeF, *csvOut, *httpAddr, *httpWait); err != nil {
+			fatal(err)
 		}
 		return
 	}
@@ -189,6 +207,72 @@ func main() {
 		fmt.Fprintf(os.Stderr, "experiments done; inspector lingering %s\n", *httpWait)
 		time.Sleep(*httpWait)
 	}
+}
+
+// listOutput renders the -list contract: the `-exp all` ids sorted, one
+// per line, then the runnable extras grouped under a labeled section so
+// scripts consuming the top block never pick up a non-default id by
+// accident.
+func listOutput() string {
+	var b strings.Builder
+	ids := append([]string(nil), experimentIDs...)
+	sort.Strings(ids)
+	for _, id := range ids {
+		fmt.Fprintln(&b, id)
+	}
+	fmt.Fprintln(&b)
+	fmt.Fprintln(&b, "extra (runnable, excluded from -exp all):")
+	extras := append([]string(nil), extraIDs...)
+	sort.Strings(extras)
+	for _, id := range extras {
+		fmt.Fprintln(&b, id)
+	}
+	return b.String()
+}
+
+// runCluster is the -cluster path: one pinned scatter-gather deployment
+// (default cluster config, node count and routing policy overridable),
+// its summary table on w. With httpAddr set the run serves the live
+// inspector, observing every query completion and the final registry.
+func runCluster(w io.Writer, nodes int, route string, csv bool, httpAddr string, httpWait time.Duration) error {
+	ccfg := config.DefaultCluster()
+	if nodes > 0 {
+		ccfg.Nodes = nodes
+		if ccfg.ShardMap == nil && ccfg.Replication > nodes {
+			ccfg.Replication = nodes
+		}
+	}
+	if route != "" {
+		ccfg.RoutePolicy = route
+	}
+	qo := qtrace.Options{}
+	var insp *inspect.Server
+	if httpAddr != "" {
+		insp = inspect.New()
+		if err := insp.Start(httpAddr); err != nil {
+			return err
+		}
+		defer insp.Close()
+		fmt.Fprintf(os.Stderr, "inspector listening on http://%s\n", insp.Addr())
+		qo.Observer = insp
+	}
+	cl, t, err := experiments.ClusterRun(workload.DefaultModel(), ccfg,
+		clusterRunQueries, clusterRunQPS, clusterRunSeed, qo)
+	if err != nil {
+		return err
+	}
+	if insp != nil {
+		insp.ObserveRun("cluster", cl.Engine().Stats())
+	}
+	if err := emit(t, w, csv); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "cluster run complete: %d queries\n", cl.Completed())
+	if insp != nil && httpWait > 0 {
+		fmt.Fprintf(os.Stderr, "inspector lingering %s\n", httpWait)
+		time.Sleep(httpWait)
+	}
+	return nil
 }
 
 // runAllOptions are the execution/output knobs of runAll, beyond what to
@@ -513,6 +597,12 @@ func run(id string, cfg config.SystemConfig, m workload.Model, opts ...experimen
 			return nil, err
 		}
 		return []*report.Table{experiments.TailLatencyTable(onchip, reach)}, nil
+	case "clustersweep":
+		r, err := experiments.DefaultClusterSweep(m, opts...)
+		if err != nil {
+			return nil, err
+		}
+		return []*report.Table{experiments.ClusterSweepTable(r)}, nil
 	case "ablation-nsbuffer":
 		r, err := experiments.AblationNSBuffer(m, opts...)
 		if err != nil {

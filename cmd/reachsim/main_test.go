@@ -4,7 +4,6 @@ import (
 	"encoding/csv"
 	"encoding/json"
 	"os"
-	"sort"
 	"strings"
 	"testing"
 
@@ -44,8 +43,9 @@ func TestRunAllExperimentIDs(t *testing.T) {
 	}
 }
 
-// TestListOutputGolden pins the -list contract: every registered id, one
-// per line, in sorted order. Scripts parse this.
+// TestListOutputGolden pins the -list contract: the `-exp all` ids
+// sorted, one per line, then the extra (runnable, not in "all") ids
+// grouped under a labeled section. Scripts parse this.
 func TestListOutputGolden(t *testing.T) {
 	const want = `ablation-gam
 ablation-granularity
@@ -67,31 +67,33 @@ table1
 table2
 table3
 table4
+
+extra (runnable, excluded from -exp all):
+clustersweep
 taillatency
 `
-	ids := append(append([]string(nil), experimentIDs...), extraIDs...)
-	sort.Strings(ids)
-	got := strings.Join(ids, "\n") + "\n"
-	if got != want {
+	if got := listOutput(); got != want {
 		t.Errorf("-list output changed:\ngot:\n%swant:\n%s", got, want)
 	}
 }
 
 // TestExtraIDsRunnable: ids outside "all" still run through the same
-// switch; "taillatency" must stay out of experimentIDs so `-exp all`
-// output is unchanged.
+// switch; the extras must stay out of experimentIDs so `-exp all` output
+// is unchanged.
 func TestExtraIDsRunnable(t *testing.T) {
-	for _, id := range experimentIDs {
-		if id == "taillatency" {
-			t.Fatal("taillatency joined -exp all; it must stay an extra id")
+	for _, extra := range extraIDs {
+		for _, id := range experimentIDs {
+			if id == extra {
+				t.Fatalf("%s joined -exp all; it must stay an extra id", extra)
+			}
 		}
-	}
-	tables, err := run("taillatency", config.Default(), workload.DefaultModel())
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(tables) == 0 {
-		t.Fatal("taillatency produced no tables")
+		tables, err := run(extra, config.Default(), workload.DefaultModel())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tables) == 0 {
+			t.Fatalf("%s produced no tables", extra)
+		}
 	}
 }
 

@@ -236,3 +236,86 @@ func TestQTraceSmokeArtifacts(t *testing.T) {
 		}
 	})
 }
+
+// TestClusterRunGolden pins the -cluster path's stdout against the CI
+// smoke golden: a pinned 4-node scatter-gather run is byte-identical
+// build to build. Regenerate with
+// `go run ./cmd/reachsim -cluster > cmd/reachsim/testdata/cluster_smoke.golden`
+// when a modelling change moves the numbers on purpose.
+func TestClusterRunGolden(t *testing.T) {
+	want, err := os.ReadFile(filepath.Join("testdata", "cluster_smoke.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got strings.Builder
+	if err := runCluster(&got, 0, "", false, "", 0); err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != string(want) {
+		t.Fatalf("-cluster output diverged from testdata/cluster_smoke.golden:\ngot:\n%swant:\n%s", got.String(), want)
+	}
+}
+
+// TestClusterSmokeArtifacts validates the files `make cluster-smoke`
+// produced: the golden-diffed summary table, the inspector's /progress
+// snapshot (every query observed live) and its /debug/vars counters.
+// Skipped unless CLUSTER_SMOKE_DIR points at the smoke output directory.
+func TestClusterSmokeArtifacts(t *testing.T) {
+	dir := os.Getenv("CLUSTER_SMOKE_DIR")
+	if dir == "" {
+		t.Skip("CLUSTER_SMOKE_DIR not set; run via `make cluster-smoke`")
+	}
+
+	t.Run("report-golden", func(t *testing.T) {
+		got, err := os.ReadFile(filepath.Join(dir, "report.txt"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := os.ReadFile(filepath.Join("testdata", "cluster_smoke.golden"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(want) {
+			t.Fatalf("cluster smoke report diverged from golden:\ngot:\n%swant:\n%s", got, want)
+		}
+	})
+
+	t.Run("progress-snapshot", func(t *testing.T) {
+		raw, err := os.ReadFile(filepath.Join(dir, "progress.json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var snap map[string]any
+		if err := json.Unmarshal(raw, &snap); err != nil {
+			t.Fatalf("/progress snapshot is not valid JSON: %v", err)
+		}
+		if v, _ := snap["queries_completed"].(float64); v != clusterRunQueries {
+			t.Errorf("inspector saw %v queries, want %d", snap["queries_completed"], clusterRunQueries)
+		}
+		if v, _ := snap["p99_ms"].(float64); v <= 0 {
+			t.Errorf("progress p99_ms = %v, want > 0", snap["p99_ms"])
+		}
+		if v, _ := snap["runs_observed"].(float64); v != 1 {
+			t.Errorf("inspector observed %v runs, want 1", snap["runs_observed"])
+		}
+		if res, _ := snap["resources"].([]any); len(res) == 0 {
+			t.Error("progress snapshot has no per-resource busy fractions")
+		}
+	})
+
+	t.Run("expvar-snapshot", func(t *testing.T) {
+		raw, err := os.ReadFile(filepath.Join(dir, "expvar.json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var vars map[string]any
+		if err := json.Unmarshal(raw, &vars); err != nil {
+			t.Fatalf("/debug/vars snapshot is not valid JSON: %v", err)
+		}
+		for _, key := range []string{"qtrace_queries_completed", "qtrace_p99_ms"} {
+			if _, ok := vars[key]; !ok {
+				t.Errorf("expvar snapshot missing %q", key)
+			}
+		}
+	})
+}

@@ -1,0 +1,362 @@
+// Package cluster scales the single-server ReACH system out to a
+// datacenter deployment: N composable nodes (core.NewNode) sharing one
+// simulation engine, the shortlist database sharded with replication
+// across them, and a front-end tier that scatter-gathers every query —
+// feature extraction on the query's home node, the feature vector fanned
+// out over an inter-node network to one replica per shard, shard-local
+// shortlist+rerank, and a merge that completes the query once all (or a
+// quorum of) shard responses return. Routing between replicas is
+// pluggable (hash affinity, round robin, power of two choices); per-query
+// Zipf popularity skews both which replicas hash routing hammers and how
+// much work each shard contributes, which is exactly the regime where
+// load-aware routing earns its tail latency.
+//
+// Everything is built from existing primitives — nodes are ordinary
+// Systems with prefixed stat names, the network is sim.Link pairs, query
+// lifecycles are phase-tagged sim.Handler events — so a cluster run is as
+// deterministic as a single-server run: byte-identical at any -j.
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/accel"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/qtrace"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// popularityItems is the size of the query-popularity universe: each
+// arriving query is one of this many distinct "contents", drawn Zipf by
+// SkewExponent. Hash routing keys on the content, so popular contents
+// pin their load to one replica index; the content also rotates which
+// shard carries the query's heaviest work.
+const popularityItems = 64
+
+// Cluster is a running N-node deployment on one shared engine.
+type Cluster struct {
+	eng    *sim.Engine
+	cfg    config.ClusterConfig
+	model  workload.Model
+	nodes  []*core.System
+	in     []*sim.Link // per-node network ingress
+	out    []*sim.Link // per-node network egress
+	router *Router
+	qlog   *qtrace.Log
+
+	allNodes []int
+	needed   int       // shard responses that complete a query
+	popW     []float64 // cumulative popularity over popularityItems
+	shardW   []float64 // per-shard work weights (rotated per content)
+
+	jobSeq    int
+	queries   []*query
+	completed int
+	err       error
+}
+
+// New assembles a cluster per cfg: nodes node0..nodeN-1 with prefixed
+// registries, an ingress and an egress link per node, the router, and a
+// query log configured by qopt (pass qtrace.Options{} for defaults; the
+// log always exists — the latency sketch is the cluster's primary
+// output).
+func New(cfg config.ClusterConfig, m workload.Model, qopt qtrace.Options) (*Cluster, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	policy, err := ParsePolicy(cfg.RoutePolicy)
+	if err != nil {
+		return nil, err
+	}
+	eng := sim.NewEngine()
+	c := &Cluster{
+		eng:    eng,
+		cfg:    cfg,
+		model:  m,
+		router: NewRouter(policy, cfg.Nodes, cfg.RouteSeed),
+		qlog:   qtrace.NewLog(qopt),
+		needed: cfg.Quorum,
+	}
+	if c.needed == 0 {
+		c.needed = cfg.Shards
+	}
+	latency := sim.FromSeconds(cfg.NetLatencyUS * 1e-6)
+	for i := 0; i < cfg.Nodes; i++ {
+		node, err := core.NewNode(eng, cfg.Node, fmt.Sprintf("node%d.", i))
+		if err != nil {
+			return nil, fmt.Errorf("cluster: node %d: %w", i, err)
+		}
+		c.nodes = append(c.nodes, node)
+		c.in = append(c.in, sim.NewLink(eng, fmt.Sprintf("cluster.net.node%d.in", i),
+			cfg.NetGBps*config.GBps, latency))
+		c.out = append(c.out, sim.NewLink(eng, fmt.Sprintf("cluster.net.node%d.out", i),
+			cfg.NetGBps*config.GBps, latency))
+		c.allNodes = append(c.allNodes, i)
+	}
+	// Cumulative popularity for content sampling.
+	w := workload.ZipfWeights(popularityItems, cfg.SkewExponent)
+	c.popW = make([]float64, len(w))
+	var cum float64
+	for i, wi := range w {
+		cum += wi
+		c.popW[i] = cum
+	}
+	c.shardW = workload.ZipfWeights(cfg.Shards, cfg.SkewExponent)
+	return c, nil
+}
+
+// Engine exposes the shared engine.
+func (c *Cluster) Engine() *sim.Engine { return c.eng }
+
+// Config reports the cluster configuration.
+func (c *Cluster) Config() config.ClusterConfig { return c.cfg }
+
+// Nodes returns the member systems (index = node id).
+func (c *Cluster) Nodes() []*core.System { return c.nodes }
+
+// RouterStats exposes the front-end router (routed counts, imbalance).
+func (c *Cluster) RouterStats() *Router { return c.router }
+
+// QLog exposes the cluster-level query log.
+func (c *Cluster) QLog() *qtrace.Log { return c.qlog }
+
+// Completed reports how many queries have merged.
+func (c *Cluster) Completed() int { return c.completed }
+
+// Submitted reports how many queries have been scheduled.
+func (c *Cluster) Submitted() int { return len(c.queries) }
+
+// content samples the query-popularity universe for query qid —
+// deterministic (a hash of qid drives inverse-CDF sampling, no shared RNG
+// state), so the same qid is the same content in every run.
+func (c *Cluster) content(qid int) int {
+	u := float64(mix64(uint64(qid)+0x243f6a8885a308d3)) / (1 << 63) / 2
+	for i, cum := range c.popW {
+		if u <= cum {
+			return i
+		}
+	}
+	return len(c.popW) - 1
+}
+
+// shardFrac is the fraction of query content's work carried by shard s:
+// the Zipf shard weights rotated by content, so every query has one hot
+// shard and popular contents agree on which.
+func (c *Cluster) shardFrac(content, s int) float64 {
+	return c.shardW[(s+content)%c.cfg.Shards]
+}
+
+// SubmitAt schedules one query arrival at the front end at time `at` and
+// returns its query id. Call before Run; arrivals are processed inside
+// the event loop in time order.
+func (c *Cluster) SubmitAt(at sim.Time) int {
+	q := &query{c: c, id: len(c.queries), needed: c.needed}
+	q.content = c.content(q.id)
+	q.replica = make([]int, c.cfg.Shards)
+	q.shardStart = make([]sim.Time, c.cfg.Shards)
+	c.queries = append(c.queries, q)
+	c.eng.AtCall(at, q, qArrive)
+	return q.id
+}
+
+// Run drains the shared calendar and verifies every submitted query
+// merged.
+func (c *Cluster) Run() error {
+	c.eng.Run()
+	if c.err != nil {
+		return c.err
+	}
+	if c.completed != len(c.queries) {
+		return fmt.Errorf("cluster: %d of %d queries unmerged after run", len(c.queries)-c.completed, len(c.queries))
+	}
+	return nil
+}
+
+// fail records the first internal error and stops scheduling new work.
+func (c *Cluster) fail(err error) {
+	if c.err == nil {
+		c.err = err
+	}
+}
+
+// NodeBusyPct reports node i's mean accelerator-fabric utilisation over
+// the run so far, in percent, averaged across its instances.
+func (c *Cluster) NodeBusyPct(i int) float64 {
+	now := c.eng.Now()
+	if now == 0 {
+		return 0
+	}
+	var busy sim.Time
+	var count int
+	for _, l := range []accel.Level{accel.OnChip, accel.NearMemory, accel.NearStorage} {
+		for _, a := range c.nodes[i].Accelerators(l) {
+			busy += a.Fabric().Busy()
+			count++
+		}
+	}
+	if count == 0 {
+		return 0
+	}
+	return 100 * float64(busy) / float64(now) / float64(count)
+}
+
+// MeanBusyPct averages NodeBusyPct over the nodes.
+func (c *Cluster) MeanBusyPct() float64 {
+	var sum float64
+	for i := range c.nodes {
+		sum += c.NodeBusyPct(i)
+	}
+	return sum / float64(len(c.nodes))
+}
+
+// Query lifecycle phases, encoded in the event arg: low bits select the
+// phase, high bits carry the shard index for per-shard phases.
+const (
+	qArrive   uint64 = iota // query hits the front end
+	qFeatures               // query image landed on the home node
+	qScatter                // feature vector landed on replica (arg>>qShift)
+	qResponse               // shard response landed back at the front end
+	qShift    = 2
+)
+
+// query is one in-flight scatter-gather request; it is its own event
+// handler, so the whole lifecycle schedules without closures (job
+// completion callbacks are the one exception — jobs already allocate).
+type query struct {
+	c       *Cluster
+	id      int
+	content int
+	home    int
+	replica []int
+
+	arrival    sim.Time
+	feStart    sim.Time
+	shardStart []sim.Time
+
+	responses int
+	needed    int
+	merged    bool
+}
+
+// Fire advances the query's lifecycle.
+func (q *query) Fire(eng *sim.Engine, arg uint64) {
+	c := q.c
+	now := eng.Now()
+	shard := int(arg >> qShift)
+	switch arg & (1<<qShift - 1) {
+	case qArrive:
+		q.arrival = now
+		c.qlog.Submitted(q.id, q.id, now)
+		// Home pick: the front end routes the raw query (image batch) to
+		// a node for feature extraction — any node qualifies.
+		q.home = c.router.Pick(uint64(q.content), c.allNodes)
+		reqDone := c.in[q.home].Transfer(c.model.BatchImageBytes())
+		c.qlog.Add(q.id, qtrace.Interval{
+			Phase: qtrace.PhaseXfer, Stage: stageFE,
+			Detail: fmt.Sprintf("client-node%d", q.home),
+			Start:  now, End: reqDone,
+		})
+		eng.AtCall(reqDone, q, qFeatures)
+
+	case qFeatures:
+		q.feStart = now
+		j, err := buildFEJob(c.nodes[q.home], c.jobSeq, c.model)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		c.jobSeq++
+		j.OnDone(func(*core.Job) { q.scatter() })
+		if err := c.nodes[q.home].GAM().Submit(j); err != nil {
+			c.fail(err)
+		}
+
+	case qScatter:
+		node := q.replica[shard]
+		q.shardStart[shard] = now
+		j, err := buildShardJob(c.nodes[node], c.jobSeq, c.model, c.shardFrac(q.content, shard))
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		c.jobSeq++
+		s := shard
+		j.OnDone(func(*core.Job) { q.respond(s) })
+		if err := c.nodes[node].GAM().Submit(j); err != nil {
+			c.fail(err)
+		}
+
+	case qResponse:
+		q.responses++
+		if !q.merged && q.responses >= q.needed {
+			q.merged = true
+			c.completed++
+			c.qlog.Completed(q.id, now)
+		}
+	}
+}
+
+// scatter runs at FE completion on the home node: fan the feature vector
+// out to one replica per shard over the network (replicas co-located with
+// the home node skip the wire).
+func (q *query) scatter() {
+	c := q.c
+	now := c.eng.Now()
+	c.router.Done(q.home)
+	c.qlog.Add(q.id, qtrace.Interval{
+		Phase: qtrace.PhaseExec, Stage: stageFE, Level: "onchip",
+		Detail: fmt.Sprintf("node%d", q.home),
+		Start:  q.feStart, End: now,
+	})
+	featBytes := c.model.BatchFeatureBytes()
+	for s := 0; s < c.cfg.Shards; s++ {
+		node := c.router.Pick(uint64(q.content), c.cfg.ReplicaNodes(s))
+		q.replica[s] = node
+		arg := qScatter | uint64(s)<<qShift
+		if node == q.home {
+			c.eng.AtCall(now, q, arg)
+			continue
+		}
+		t := c.out[q.home].Transfer(featBytes)
+		t = c.in[node].TransferAt(t, featBytes)
+		c.qlog.Add(q.id, qtrace.Interval{
+			Phase: qtrace.PhaseXfer, Stage: stageSL,
+			Detail: fmt.Sprintf("node%d-node%d", q.home, node),
+			Start:  now, End: t,
+		})
+		c.eng.AtCall(t, q, arg)
+	}
+}
+
+// respond runs at a shard job's completion on its replica: send the
+// shard's rerank results back to the front end for the merge.
+func (q *query) respond(shard int) {
+	c := q.c
+	now := c.eng.Now()
+	node := q.replica[shard]
+	c.router.Done(node)
+	c.qlog.Add(q.id, qtrace.Interval{
+		Phase: qtrace.PhaseExec, Stage: stageRR, Level: "nearmem+nearstor",
+		Detail: fmt.Sprintf("shard%d@node%d", shard, node),
+		Start:  q.shardStart[shard], End: now,
+	})
+	arg := qResponse | uint64(shard)<<qShift
+	if node == q.home {
+		c.eng.AtCall(now, q, arg)
+		return
+	}
+	respBytes := scaleBytes(c.model.ResultBytesPerBatch(), c.shardFrac(q.content, shard))
+	t := c.out[node].Transfer(respBytes)
+	t = c.in[q.home].TransferAt(t, respBytes)
+	c.qlog.Add(q.id, qtrace.Interval{
+		Phase: qtrace.PhaseXfer, Stage: stageRR,
+		Detail: fmt.Sprintf("node%d-node%d", node, q.home),
+		Start:  now, End: t,
+	})
+	c.eng.AtCall(t, q, arg)
+}

@@ -1,0 +1,92 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/accel"
+	"repro/internal/core"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+// Stage labels, matching the single-server pipeline spelling so cluster
+// traces and energy attribution line up with the experiments package.
+const (
+	stageFE = "FeatureExtraction"
+	stageSL = "ShortlistRetrieval"
+	stageRR = "Rerank"
+)
+
+// scaleBytes applies a shard's work fraction to a byte count, never
+// rounding a non-empty payload down to zero.
+func scaleBytes(b int64, frac float64) int64 {
+	s := int64(float64(b) * frac)
+	if s < 1 && b > 0 {
+		s = 1
+	}
+	return s
+}
+
+// buildFEJob builds the front-end half of a cluster query on its home
+// node: one batched feature-extraction task on the on-chip accelerator,
+// features collected back to the host for the network scatter.
+func buildFEJob(node *core.System, id int, m workload.Model) (*core.Job, error) {
+	kernel, err := node.Registry().Lookup("CNN-VU9P")
+	if err != nil {
+		return nil, err
+	}
+	j := core.NewJob(id)
+	n := j.AddTask(accel.Task{
+		Name: "fe", Stage: stageFE, Kernel: kernel,
+		MACs: m.FeatureMACsPerBatch(), Source: accel.SourceSPM,
+	}, accel.OnChip)
+	n.OutBytes = m.BatchFeatureBytes()
+	n.SinkToHost = true
+	return j, nil
+}
+
+// buildShardJob builds one shard's slice of a query on a replica node:
+// shortlist retrieval near memory feeding rerank near storage, both scaled
+// by frac — this query's share of work landing on this shard. The rerank
+// results are collected to the replica's host for the network gather.
+func buildShardJob(node *core.System, id int, m workload.Model, frac float64) (*core.Job, error) {
+	reg := node.Registry()
+	gemm, err := reg.Lookup("GEMM-ZCU9")
+	if err != nil {
+		return nil, err
+	}
+	knn, err := reg.Lookup("KNN-ZCU9")
+	if err != nil {
+		return nil, err
+	}
+	nm := node.InstanceCount(accel.NearMemory)
+	ns := node.InstanceCount(accel.NearStorage)
+	if nm == 0 || ns == 0 {
+		return nil, fmt.Errorf("cluster: shard job needs near-memory and near-storage instances, node has %d/%d", nm, ns)
+	}
+	j := core.NewJob(id)
+	var sl []*core.TaskNode
+	for i := 0; i < nm; i++ {
+		n := j.AddTask(accel.Task{
+			Name: fmt.Sprintf("sl%d", i), Stage: stageSL, Kernel: gemm,
+			MACs:   m.ShortlistMACsPerBatch() * frac / float64(nm),
+			Bytes:  scaleBytes(m.ShortlistScanBytesPerBatch(), frac) / int64(nm),
+			Source: accel.SourceLocalDIMM, Pattern: storage.Sequential,
+		}, accel.NearMemory)
+		n.Pin = i
+		n.OutBytes = scaleBytes(m.ShortlistResultBytesPerBatch(), frac) / int64(nm)
+		sl = append(sl, n)
+	}
+	for i := 0; i < ns; i++ {
+		n := j.AddTask(accel.Task{
+			Name: fmt.Sprintf("rr%d", i), Stage: stageRR, Kernel: knn,
+			MACs:   m.RerankMACsPerBatch() * frac / float64(ns),
+			Bytes:  scaleBytes(m.RerankScanBytesPerBatch(), frac) / int64(ns),
+			Source: accel.SourceSSD, Pattern: storage.RandomPages,
+		}, accel.NearStorage, sl...)
+		n.Pin = i
+		n.OutBytes = scaleBytes(m.ResultBytesPerBatch(), frac) / int64(ns)
+		n.SinkToHost = true
+	}
+	return j, nil
+}

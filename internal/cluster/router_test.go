@@ -1,0 +1,143 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestParsePolicy(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Policy
+	}{{"hash", PolicyHash}, {"rr", PolicyRR}, {"round-robin", PolicyRR}, {"p2c", PolicyP2C}, {"power-of-two", PolicyP2C}} {
+		p, err := ParsePolicy(tc.in)
+		if err != nil || p != tc.want {
+			t.Fatalf("ParsePolicy(%q) = %v, %v; want %v", tc.in, p, err, tc.want)
+		}
+	}
+	if _, err := ParsePolicy("sticky"); err == nil {
+		t.Fatal("ParsePolicy accepted unknown policy")
+	}
+}
+
+func TestRouterRoundRobinEven(t *testing.T) {
+	r := NewRouter(PolicyRR, 4, 1)
+	cands := []int{0, 1, 2, 3}
+	for i := 0; i < 400; i++ {
+		r.Pick(uint64(i), cands)
+	}
+	for n, c := range r.Routed() {
+		if c != 100 {
+			t.Fatalf("rr routed %d requests to node %d, want 100", c, n)
+		}
+	}
+}
+
+func TestRouterHashDeterministic(t *testing.T) {
+	a := NewRouter(PolicyHash, 8, 1)
+	b := NewRouter(PolicyHash, 8, 99) // hash ignores the seed
+	cands := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	for i := 0; i < 100; i++ {
+		if x, y := a.Pick(uint64(i), cands), b.Pick(uint64(i), cands); x != y {
+			t.Fatalf("hash pick for key %d differs: %d vs %d", i, x, y)
+		}
+	}
+}
+
+func TestRouterP2CSeedDeterministic(t *testing.T) {
+	a := NewRouter(PolicyP2C, 8, 7)
+	b := NewRouter(PolicyP2C, 8, 7)
+	cands := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	for i := 0; i < 500; i++ {
+		x, y := a.Pick(uint64(i), cands), b.Pick(uint64(i), cands)
+		if x != y {
+			t.Fatalf("p2c pick %d differs under identical seeds: %d vs %d", i, x, y)
+		}
+		if i%3 == 0 {
+			a.Done(x)
+			b.Done(y)
+		}
+	}
+}
+
+// zipfKeys builds a deterministic request-key sequence whose key
+// popularity follows the given Zipf weights: key k appears in proportion
+// to weights[k], interleaved so hot keys recur throughout the sequence.
+func zipfKeys(total int, weights []float64) []uint64 {
+	counts := make([]int, len(weights))
+	for k, w := range weights {
+		counts[k] = int(w * float64(total))
+	}
+	var out []uint64
+	for len(out) < total {
+		for k, c := range counts {
+			if c > 0 {
+				out = append(out, uint64(k))
+				counts[k] = c - 1
+			}
+		}
+		// All residuals spent: pad with the hottest key.
+		exhausted := true
+		for _, c := range counts {
+			if c > 0 {
+				exhausted = false
+				break
+			}
+		}
+		if exhausted {
+			for len(out) < total {
+				out = append(out, 0)
+			}
+		}
+	}
+	return out[:total]
+}
+
+// drive routes the key sequence through a router with a bounded service
+// rate: each step routes one request and, every `serviceEvery` steps,
+// completes the oldest outstanding request (FIFO) — so load piles up on
+// whichever nodes the policy concentrates.
+func drive(r *Router, keys []uint64, nodes, serviceEvery int) {
+	cands := make([]int, nodes)
+	for i := range cands {
+		cands[i] = i
+	}
+	var fifo []int
+	for i, k := range keys {
+		fifo = append(fifo, r.Pick(k, cands))
+		if serviceEvery > 0 && i%serviceEvery == serviceEvery-1 {
+			r.Done(fifo[0])
+			fifo = fifo[1:]
+		}
+	}
+}
+
+// TestP2CQueueDepthBound is the routing property the cluster leans on:
+// under Zipf-skewed request keys, power-of-two-choices keeps the peak
+// queue-depth imbalance (max node peak over mean node peak) within a
+// pinned bound, and never worse than hash routing — which sends every
+// repeat of a hot key to the same node and piles its queue high.
+func TestP2CQueueDepthBound(t *testing.T) {
+	const (
+		nodes        = 8
+		requests     = 4000
+		serviceEvery = 2 // service half the offered rate: queues grow
+		pinnedBound  = 1.5
+	)
+	keys := zipfKeys(requests, workload.ZipfWeights(64, 1.2))
+
+	hash := NewRouter(PolicyHash, nodes, 1)
+	drive(hash, keys, nodes, serviceEvery)
+	p2c := NewRouter(PolicyP2C, nodes, 1)
+	drive(p2c, keys, nodes, serviceEvery)
+
+	hi, pi := hash.PeakImbalance(), p2c.PeakImbalance()
+	t.Logf("peak queue-depth imbalance: hash %.3f, p2c %.3f", hi, pi)
+	if pi > pinnedBound {
+		t.Fatalf("p2c peak imbalance %.3f exceeds pinned bound %.1f", pi, pinnedBound)
+	}
+	if pi > hi {
+		t.Fatalf("p2c peak imbalance %.3f worse than hash %.3f under Zipf keys", pi, hi)
+	}
+}

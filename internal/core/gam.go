@@ -587,7 +587,10 @@ func (g *GAM) streamBuf(src, dst accel.Level) *sim.TokenQueue {
 	if depth < 1 {
 		depth = 1
 	}
-	name := fmt.Sprintf("stream.%s-%s",
+	// Stream buffers are created lazily mid-run, so the node prefix is
+	// applied here rather than through the registry's construction-scoped
+	// prefix.
+	name := fmt.Sprintf("%sstream.%s-%s", g.sys.prefix,
 		strings.ToLower(src.String()), strings.ToLower(dst.String()))
 	q := sim.NewTokenQueue(g.sys.eng, name, depth)
 	g.streamBufs[key] = q

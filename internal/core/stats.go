@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 
 	"repro/internal/accel"
 	"repro/internal/sim"
@@ -43,8 +44,13 @@ func (s *System) Snapshot() []StatEntry {
 	// outstanding-ops window registered on the engine, walked in sorted
 	// name order. The central registry is the single source of truth for
 	// contention statistics — component packages no longer export bespoke
-	// counters into the snapshot.
+	// counters into the snapshot. On a shared-engine node only this node's
+	// (prefix-scoped) resources are reported; sibling nodes and
+	// cluster-level links belong to their own snapshots.
 	s.eng.Stats().Walk(func(name string, res sim.Resource) {
+		if s.prefix != "" && !strings.HasPrefix(name, s.prefix) {
+			return
+		}
 		st := res.ResourceStats()
 		switch st.Kind {
 		case sim.KindConnection:

@@ -20,10 +20,14 @@ import (
 )
 
 // System is one simulated ReACH server: the platform hardware, the
-// accelerator instances of each level, and the GAM.
+// accelerator instances of each level, and the GAM. A System built with
+// NewSystem owns its engine (the single-server experiments); one built
+// with NewNode is a composable node sharing an engine with its siblings,
+// its resources registered under a node prefix.
 type System struct {
 	eng      *sim.Engine
 	cfg      config.SystemConfig
+	prefix   string
 	meter    *energy.Meter
 	plat     *accel.Platform
 	registry *fpga.Registry
@@ -35,18 +39,30 @@ type System struct {
 	gam *GAM
 }
 
-// NewSystem builds a system per cfg, instantiating cfg.Instances
-// accelerators at each level.
+// NewSystem builds a single-server system per cfg on a fresh engine,
+// instantiating cfg.Instances accelerators at each level.
 func NewSystem(cfg config.SystemConfig) (*System, error) {
-	eng := sim.NewEngine()
+	return NewNode(sim.NewEngine(), cfg, "")
+}
+
+// NewNode builds one ReACH server as a composable node on a shared
+// engine. Every resource the node constructs — memory ports, NoC links,
+// SSD channels, GAM stream buffers — registers under prefix (e.g.
+// "node0."), so N nodes coexist in one registry with disjoint
+// hierarchical names. An empty prefix reproduces the single-server
+// registry byte for byte.
+func NewNode(eng *sim.Engine, cfg config.SystemConfig, prefix string) (*System, error) {
 	meter := energy.NewMeter(energy.DefaultCosts())
+	old := eng.Stats().SetPrefix(prefix)
 	plat, err := accel.NewPlatform(eng, cfg, meter)
+	eng.Stats().SetPrefix(old)
 	if err != nil {
 		return nil, err
 	}
 	s := &System{
 		eng:      eng,
 		cfg:      cfg,
+		prefix:   prefix,
 		meter:    meter,
 		plat:     plat,
 		registry: fpga.NewRegistry(),
@@ -74,6 +90,10 @@ func NewSystem(cfg config.SystemConfig) (*System, error) {
 
 // Engine exposes the simulation engine.
 func (s *System) Engine() *sim.Engine { return s.eng }
+
+// Prefix reports the node's registry-name prefix ("" for a single-server
+// system).
+func (s *System) Prefix() string { return s.prefix }
 
 // Config reports the system configuration.
 func (s *System) Config() config.SystemConfig { return s.cfg }
@@ -121,7 +141,9 @@ func (s *System) InstanceCount(l accel.Level) int {
 	return len(s.Accelerators(l))
 }
 
-// Run drains the simulation calendar.
+// Run drains the simulation calendar. On a shared-engine node this drains
+// the whole cluster's calendar — callers owning several nodes run the
+// engine once instead.
 func (s *System) Run() { s.eng.Run() }
 
 // Background charges the DRAM/SSD background energy for the elapsed

@@ -105,6 +105,11 @@ type StatsRegistry struct {
 	byName  map[string]Resource
 	ordered []namedResource // sorted by name when `sorted` is true
 	sorted  bool
+	// prefix is prepended to every requested name at registration time —
+	// how a cluster scopes each node's resources under "node<i>." on one
+	// shared engine. Empty (the default) leaves names untouched, so
+	// single-system registries are unaffected.
+	prefix string
 }
 
 // namedResource is one cached (name, resource) pair in walk order.
@@ -118,11 +123,22 @@ func NewStatsRegistry() *StatsRegistry {
 	return &StatsRegistry{byName: make(map[string]Resource)}
 }
 
-// Register adds a resource under its requested name and returns the name
-// actually registered. Name collisions (several models constructed with
-// the same diagnostic name on one engine) are resolved deterministically
-// by appending "#2", "#3", ... so registration never fails and every
-// resource stays reachable.
+// SetPrefix sets the name prefix applied to subsequent registrations and
+// returns the previous prefix, so scoped construction can restore it:
+//
+//	old := reg.SetPrefix("node0.")
+//	defer reg.SetPrefix(old)
+func (r *StatsRegistry) SetPrefix(p string) (old string) {
+	old = r.prefix
+	r.prefix = p
+	return old
+}
+
+// Register adds a resource under its requested name (with the current
+// prefix prepended) and returns the name actually registered. Name
+// collisions (several models constructed with the same diagnostic name on
+// one engine) are resolved deterministically by appending "#2", "#3", ...
+// so registration never fails and every resource stays reachable.
 func (r *StatsRegistry) Register(name string, res Resource) string {
 	if res == nil {
 		panic("sim: registering nil resource")
@@ -130,6 +146,7 @@ func (r *StatsRegistry) Register(name string, res Resource) string {
 	if name == "" {
 		name = "anon"
 	}
+	name = r.prefix + name
 	final := name
 	for n := 2; ; n++ {
 		if _, taken := r.byName[final]; !taken {
