@@ -16,13 +16,18 @@
 #                      run with the inspector on an ephemeral port, its
 #                      summary table diffed against the committed golden
 #                      and the inspector snapshots validated
+#   make cluster-par-smoke — parallel-determinism check: the same cluster
+#                      run at -pj 1, 4 and 8 worker goroutines must emit
+#                      byte-identical reports, plus the race detector over
+#                      the multi-domain engine and cluster tests
 
 GO ?= go
 SMOKE_DIR := metrics-smoke-out
 QSMOKE_DIR := qtrace-smoke-out
 CSMOKE_DIR := cluster-smoke-out
+PSMOKE_DIR := cluster-par-smoke-out
 
-.PHONY: check fmt-check build vet test race bench bench-smoke metrics-smoke qtrace-smoke cluster-smoke
+.PHONY: check fmt-check build vet test race bench bench-smoke metrics-smoke qtrace-smoke cluster-smoke cluster-par-smoke
 
 check: fmt-check build vet race
 
@@ -110,3 +115,18 @@ cluster-smoke:
 	kill $$pid; wait $$pid 2>/dev/null || true
 	diff cmd/reachsim/testdata/cluster_smoke.golden $(CSMOKE_DIR)/report.txt
 	CLUSTER_SMOKE_DIR=$$PWD/$(CSMOKE_DIR) $(GO) test -run TestClusterSmokeArtifacts -v ./cmd/reachsim/
+
+# Parallel-determinism smoke: domain parallelism must never change the
+# model. One binary, the same pinned cluster run at 1, 4 and 8 worker
+# goroutines; any byte of divergence fails the diff. The race detector
+# then sweeps the packages that own the barrier protocol.
+cluster-par-smoke:
+	rm -rf $(PSMOKE_DIR) && mkdir -p $(PSMOKE_DIR)
+	$(GO) build -o $(PSMOKE_DIR)/reachsim ./cmd/reachsim
+	$(PSMOKE_DIR)/reachsim -cluster -pj 1 > $(PSMOKE_DIR)/pj1.txt
+	$(PSMOKE_DIR)/reachsim -cluster -pj 4 > $(PSMOKE_DIR)/pj4.txt
+	$(PSMOKE_DIR)/reachsim -cluster -pj 8 > $(PSMOKE_DIR)/pj8.txt
+	diff $(PSMOKE_DIR)/pj1.txt $(PSMOKE_DIR)/pj4.txt
+	diff $(PSMOKE_DIR)/pj1.txt $(PSMOKE_DIR)/pj8.txt
+	diff cmd/reachsim/testdata/cluster_smoke.golden $(PSMOKE_DIR)/pj1.txt
+	$(GO) test -race ./internal/sim/ ./internal/cluster/

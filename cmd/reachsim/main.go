@@ -28,6 +28,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/config"
 	"repro/internal/energy"
 	"repro/internal/experiments"
@@ -84,6 +85,7 @@ func main() {
 		clusterF  = flag.Bool("cluster", false, "run one sharded scatter-gather cluster deployment and print its summary table")
 		nodesF    = flag.Int("nodes", 0, "with -cluster, override the node count (default 4)")
 		routeF    = flag.String("route", "", "with -cluster, override the routing policy: hash, rr, p2c (default p2c)")
+		pjF       = flag.Int("pj", 0, "worker goroutines per cluster simulation's event domains (0 = config default, 1 = serial); output is byte-identical at any -pj")
 	)
 	flag.Parse()
 
@@ -153,7 +155,7 @@ func main() {
 	}
 
 	if *clusterF {
-		if err := runCluster(os.Stdout, *nodesF, *routeF, *csvOut, *httpAddr, *httpWait); err != nil {
+		if err := runCluster(os.Stdout, *nodesF, *routeF, *pjF, *csvOut, *httpAddr, *httpWait); err != nil {
 			fatal(err)
 		}
 		return
@@ -175,6 +177,7 @@ func main() {
 	}
 	ra := runAllOptions{
 		jobs:     *jobs,
+		pj:       *pjF,
 		csv:      *csvOut,
 		benchOut: *benchOut,
 		progress: *progress,
@@ -231,10 +234,12 @@ func listOutput() string {
 }
 
 // runCluster is the -cluster path: one pinned scatter-gather deployment
-// (default cluster config, node count and routing policy overridable),
-// its summary table on w. With httpAddr set the run serves the live
-// inspector, observing every query completion and the final registry.
-func runCluster(w io.Writer, nodes int, route string, csv bool, httpAddr string, httpWait time.Duration) error {
+// (default cluster config, node count, routing policy and domain
+// parallelism overridable), its summary table on w. With httpAddr set the
+// run serves the live inspector, observing every query completion, the
+// per-domain clocks/mailboxes while the run executes, and the final
+// registry. Output is byte-identical at any pj.
+func runCluster(w io.Writer, nodes int, route string, pj int, csv bool, httpAddr string, httpWait time.Duration) error {
 	ccfg := config.DefaultCluster()
 	if nodes > 0 {
 		ccfg.Nodes = nodes
@@ -244,6 +249,9 @@ func runCluster(w io.Writer, nodes int, route string, csv bool, httpAddr string,
 	}
 	if route != "" {
 		ccfg.RoutePolicy = route
+	}
+	if pj > 0 {
+		ccfg.ParallelDomains = pj
 	}
 	qo := qtrace.Options{}
 	var insp *inspect.Server
@@ -256,8 +264,12 @@ func runCluster(w io.Writer, nodes int, route string, csv bool, httpAddr string,
 		fmt.Fprintf(os.Stderr, "inspector listening on http://%s\n", insp.Addr())
 		qo.Observer = insp
 	}
+	var observe func(*cluster.Cluster)
+	if insp != nil {
+		observe = func(cl *cluster.Cluster) { insp.ObserveMulti(cl.Multi()) }
+	}
 	cl, t, err := experiments.ClusterRun(workload.DefaultModel(), ccfg,
-		clusterRunQueries, clusterRunQPS, clusterRunSeed, qo)
+		clusterRunQueries, clusterRunQPS, clusterRunSeed, qo, observe)
 	if err != nil {
 		return err
 	}
@@ -279,6 +291,7 @@ func runCluster(w io.Writer, nodes int, route string, csv bool, httpAddr string,
 // run: concurrency, output format, wall-clock summary, observability.
 type runAllOptions struct {
 	jobs     int
+	pj       int // event-domain workers per cluster simulation (0 = config default)
 	csv      bool
 	benchOut string
 	progress bool
@@ -323,6 +336,9 @@ func runAll(w io.Writer, ids []string, cfg config.SystemConfig, m workload.Model
 	results, err := runner.Map(context.Background(), runner.Options{Workers: len(ids)}, ids,
 		func(_ context.Context, i int, id string) ([]*report.Table, error) {
 			opts := []experiments.Option{experiments.WithPool(pool)}
+			if o.pj > 0 {
+				opts = append(opts, experiments.WithClusterParallel(o.pj))
+			}
 			if o.progress {
 				opts = append(opts, experiments.WithProgress(func(done, total int, name string) {
 					fmt.Fprintf(os.Stderr, "[%s] %d/%d %s\n", id, done, total, name)

@@ -248,11 +248,31 @@ func TestClusterRunGolden(t *testing.T) {
 		t.Fatal(err)
 	}
 	var got strings.Builder
-	if err := runCluster(&got, 0, "", false, "", 0); err != nil {
+	if err := runCluster(&got, 0, "", 0, false, "", 0); err != nil {
 		t.Fatal(err)
 	}
 	if got.String() != string(want) {
 		t.Fatalf("-cluster output diverged from testdata/cluster_smoke.golden:\ngot:\n%swant:\n%s", got.String(), want)
+	}
+}
+
+// TestClusterRunParallelInvariant pins the tentpole acceptance bar at the
+// CLI layer: the pinned -cluster run's stdout is byte-identical at -pj 1,
+// -pj 4 and -pj 8 — domain parallelism is a wall-clock knob, never a
+// modelling knob. (The golden above covers -pj 0 = config default.)
+func TestClusterRunParallelInvariant(t *testing.T) {
+	render := func(pj int) string {
+		var out strings.Builder
+		if err := runCluster(&out, 0, "", pj, false, "", 0); err != nil {
+			t.Fatalf("pj=%d: %v", pj, err)
+		}
+		return out.String()
+	}
+	serial := render(1)
+	for _, pj := range []int{4, 8} {
+		if got := render(pj); got != serial {
+			t.Fatalf("-pj %d output diverged from -pj 1:\ngot:\n%swant:\n%s", pj, got, serial)
+		}
 	}
 }
 

@@ -1,0 +1,112 @@
+package cluster
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/qtrace"
+	"repro/internal/sim"
+)
+
+// TestClusterQueryAllocBudget pins the per-query allocation budget of the
+// scatter-gather hot path, in the spirit of the sim/mem zero-alloc gates.
+// A cluster query cannot be allocation-free — every query builds 1+Shards
+// core.Jobs with their task graphs — but everything around the jobs is
+// pooled or precomputed: query objects and their per-shard timing slices
+// recycle through the cluster's free list, interval labels are built once
+// at construction, and routing uses precomputed candidate slices. The
+// budget fails loudly if per-query garbage creeps back in (the 18-cell
+// sweep benchmark ran ~900 allocations/query before pooling and the
+// cached accelerator views, ~160 after).
+func TestClusterQueryAllocBudget(t *testing.T) {
+	cl, err := New(config.DefaultCluster(), testModel(), qtrace.Options{DropTimelines: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	submitBatch := func(n int) {
+		base := cl.Multi().Now()
+		for i := 0; i < n; i++ {
+			cl.SubmitAt(base + sim.Time(i+1)*sim.Millisecond)
+		}
+		if err := cl.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	submitBatch(16) // warm query pool, calendars, link histograms, GAM state
+
+	const queries = 8
+	perQuery := testing.AllocsPerRun(5, func() { submitBatch(queries) }) / queries
+	// Measured ~140/query on go1.22 (job graphs + GAM bookkeeping dominate).
+	// The bound leaves headroom for toolchain drift while still catching any
+	// real regression (an unpooled slice or a fmt call per query costs
+	// hundreds at cluster fan-out).
+	const budget = 500.0
+	t.Logf("cluster query allocates %.1f objects (budget %.0f)", perQuery, budget)
+	if perQuery > budget {
+		t.Errorf("cluster query allocates %.1f objects, budget %.0f", perQuery, budget)
+	}
+}
+
+// TestClusterParallelDomainsInvariant is the tentpole's acceptance bar at
+// the cluster layer: identical configs differing only in ParallelDomains
+// produce byte-identical node snapshots, identical latency sketches and
+// identical router decisions. Domain parallelism must never be a
+// modelling knob.
+func TestClusterParallelDomainsInvariant(t *testing.T) {
+	snap := func(pj int) (string, string) {
+		cfg := config.DefaultCluster()
+		cfg.ParallelDomains = pj
+		c := buildAndRun(t, cfg, 12, sim.FromSeconds(5e-4))
+		var b bytes.Buffer
+		for _, n := range c.Nodes() {
+			if err := n.WriteSnapshot(&b); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sk := c.QLog().Sketch()
+		lat := sk.Quantile(0.5).String() + "/" + sk.Quantile(0.99).String()
+		return b.String(), lat
+	}
+	s1, l1 := snap(1)
+	for _, pj := range []int{4, 8} {
+		s, l := snap(pj)
+		if s != s1 {
+			t.Fatalf("ParallelDomains=%d produced different node snapshots than serial", pj)
+		}
+		if l != l1 {
+			t.Fatalf("ParallelDomains=%d latencies %s diverged from serial %s", pj, l, l1)
+		}
+	}
+}
+
+// TestClusterRejectsZeroLatency: the wire latency is the conservative
+// lookahead, so a zero-latency cluster network must be rejected at
+// validation rather than deadlocking the barrier.
+func TestClusterRejectsZeroLatency(t *testing.T) {
+	cfg := config.DefaultCluster()
+	cfg.NetLatencyUS = 0
+	if _, err := New(cfg, testModel(), qtrace.Options{}); err == nil {
+		t.Fatal("zero net latency accepted")
+	}
+	cfg = config.DefaultCluster()
+	cfg.ParallelDomains = -1
+	if _, err := New(cfg, testModel(), qtrace.Options{}); err == nil {
+		t.Fatal("negative parallel_domains accepted")
+	}
+}
+
+func BenchmarkClusterQuery(b *testing.B) {
+	cl, err := New(config.DefaultCluster(), testModel(), qtrace.Options{DropTimelines: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cl.SubmitAt(cl.Multi().Now() + sim.Millisecond)
+		if err := cl.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

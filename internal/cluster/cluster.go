@@ -1,24 +1,29 @@
 // Package cluster scales the single-server ReACH system out to a
-// datacenter deployment: N composable nodes (core.NewNode) sharing one
-// simulation engine, the shortlist database sharded with replication
-// across them, and a front-end tier that scatter-gathers every query —
-// feature extraction on the query's home node, the feature vector fanned
-// out over an inter-node network to one replica per shard, shard-local
-// shortlist+rerank, and a merge that completes the query once all (or a
-// quorum of) shard responses return. Routing between replicas is
-// pluggable (hash affinity, round robin, power of two choices); per-query
-// Zipf popularity skews both which replicas hash routing hammers and how
-// much work each shard contributes, which is exactly the regime where
-// load-aware routing earns its tail latency.
+// datacenter deployment: N composable nodes (core.NewNode), the shortlist
+// database sharded with replication across them, and a front-end tier that
+// scatter-gathers every query — feature extraction on the query's home
+// node, the feature vector fanned out over an inter-node network to one
+// replica per shard, shard-local shortlist+rerank, and a merge that
+// completes the query once all (or a quorum of) shard responses return.
+// Routing between replicas is pluggable (hash affinity, round robin, power
+// of two choices); per-query Zipf popularity skews both which replicas
+// hash routing hammers and how much work each shard contributes, which is
+// exactly the regime where load-aware routing earns its tail latency.
 //
-// Everything is built from existing primitives — nodes are ordinary
-// Systems with prefixed stat names, the network is sim.Link pairs, query
-// lifecycles are phase-tagged sim.Handler events — so a cluster run is as
-// deterministic as a single-server run: byte-identical at any -j.
+// The cluster is partitioned into event domains for parallel simulation:
+// the front end owns domain 0 and each node owns its own domain, wired
+// with sim.CrossLink egress whose fixed latency is the conservative
+// lookahead. Everything with shared mutable state — the router, the query
+// log, the merge — lives in the front-end domain; nodes only ever touch
+// their own hardware and write per-query timing slots that the front end
+// reads after a synchronizing delivery. A cluster run is therefore as
+// deterministic as a single-server run: byte-identical at any -pj (and
+// any -j).
 package cluster
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/accel"
 	"repro/internal/config"
@@ -35,33 +40,53 @@ import (
 // shard carries the query's heaviest work.
 const popularityItems = 64
 
-// Cluster is a running N-node deployment on one shared engine.
+// Cluster is a running N-node deployment partitioned over 1+N event
+// domains: domain 0 is the front end (router, query log, merge), domain
+// 1+i is node i (its full hardware platform plus its network ingress and
+// egress).
 type Cluster struct {
-	eng    *sim.Engine
+	me     *sim.MultiEngine
+	fe     *sim.Engine   // front-end domain
+	dom    []*sim.Engine // per-node domains (index = node id)
 	cfg    config.ClusterConfig
 	model  workload.Model
 	nodes  []*core.System
-	in     []*sim.Link // per-node network ingress
-	out    []*sim.Link // per-node network egress
+	in     []*sim.Link      // per-node network ingress (node domain, latency-free)
+	out    []*sim.CrossLink // per-node network egress (carries the wire latency)
+	feIn   *sim.Link        // front-end gather ingress
 	router *Router
 	qlog   *qtrace.Log
 
-	allNodes []int
-	needed   int       // shard responses that complete a query
-	popW     []float64 // cumulative popularity over popularityItems
-	shardW   []float64 // per-shard work weights (rotated per content)
+	allNodes    []int
+	replicaSets [][]int   // shard → candidate replica nodes, precomputed
+	needed      int       // shard responses that complete a query
+	popW        []float64 // cumulative popularity over popularityItems
+	shardW      []float64 // per-shard work weights (rotated per content)
+	netLat      sim.Time
 
-	jobSeq    int
-	queries   []*query
+	// Precomputed qlog interval labels, so the per-query path formats
+	// nothing.
+	detImg   []string   // client-node<home>
+	detExec  []string   // node<home>
+	detScat  [][]string // node<home>-node<replica>
+	detShard [][]string // shard<s>@node<replica>
+	detResp  []string   // node<replica>-fe
+
+	// Front-end-domain state.
+	submitted int
 	completed int
-	err       error
+	qpool     []*query // recycled query objects (scatter/merge state)
+
+	// Node domains report build/submit failures here.
+	errMu sync.Mutex
+	err   error
 }
 
 // New assembles a cluster per cfg: nodes node0..nodeN-1 with prefixed
-// registries, an ingress and an egress link per node, the router, and a
-// query log configured by qopt (pass qtrace.Options{} for defaults; the
-// log always exists — the latency sketch is the cluster's primary
-// output).
+// registries on their own event domains, an ingress and an egress link per
+// node, the front-end domain with the router, and a query log configured
+// by qopt (pass qtrace.Options{} for defaults; the log always exists — the
+// latency sketch is the cluster's primary output).
 func New(cfg config.ClusterConfig, m workload.Model, qopt qtrace.Options) (*Cluster, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -73,30 +98,53 @@ func New(cfg config.ClusterConfig, m workload.Model, qopt qtrace.Options) (*Clus
 	if err != nil {
 		return nil, err
 	}
-	eng := sim.NewEngine()
+	me := sim.NewMultiEngine(1 + cfg.Nodes)
+	me.SetWorkers(cfg.ParallelDomains)
 	c := &Cluster{
-		eng:    eng,
+		me:     me,
+		fe:     me.Domain(0),
 		cfg:    cfg,
 		model:  m,
 		router: NewRouter(policy, cfg.Nodes, cfg.RouteSeed),
 		qlog:   qtrace.NewLog(qopt),
 		needed: cfg.Quorum,
+		netLat: sim.FromSeconds(cfg.NetLatencyUS * 1e-6),
 	}
 	if c.needed == 0 {
 		c.needed = cfg.Shards
 	}
-	latency := sim.FromSeconds(cfg.NetLatencyUS * 1e-6)
+	bw := cfg.NetGBps * config.GBps
+	// The wire latency is charged exactly once per hop, by the cross-domain
+	// egress links — it is the conservative lookahead that lets domains run
+	// in parallel. Ingress links are pure bandwidth resources.
+	c.feIn = sim.NewLink(c.fe, "cluster.net.fe.in", bw, 0)
 	for i := 0; i < cfg.Nodes; i++ {
-		node, err := core.NewNode(eng, cfg.Node, fmt.Sprintf("node%d.", i))
+		d := me.Domain(1 + i)
+		node, err := core.NewNode(d, cfg.Node, fmt.Sprintf("node%d.", i))
 		if err != nil {
 			return nil, fmt.Errorf("cluster: node %d: %w", i, err)
 		}
+		c.dom = append(c.dom, d)
 		c.nodes = append(c.nodes, node)
-		c.in = append(c.in, sim.NewLink(eng, fmt.Sprintf("cluster.net.node%d.in", i),
-			cfg.NetGBps*config.GBps, latency))
-		c.out = append(c.out, sim.NewLink(eng, fmt.Sprintf("cluster.net.node%d.out", i),
-			cfg.NetGBps*config.GBps, latency))
+		c.in = append(c.in, sim.NewLink(d, fmt.Sprintf("cluster.net.node%d.in", i), bw, 0))
+		c.out = append(c.out, sim.NewCrossLink(d, fmt.Sprintf("cluster.net.node%d.out", i), bw, c.netLat))
 		c.allNodes = append(c.allNodes, i)
+		c.detImg = append(c.detImg, fmt.Sprintf("client-node%d", i))
+		c.detExec = append(c.detExec, fmt.Sprintf("node%d", i))
+		c.detResp = append(c.detResp, fmt.Sprintf("node%d-fe", i))
+		scat := make([]string, cfg.Nodes)
+		for j := 0; j < cfg.Nodes; j++ {
+			scat[j] = fmt.Sprintf("node%d-node%d", i, j)
+		}
+		c.detScat = append(c.detScat, scat)
+	}
+	for s := 0; s < cfg.Shards; s++ {
+		c.replicaSets = append(c.replicaSets, cfg.ReplicaNodes(s))
+		lbl := make([]string, cfg.Nodes)
+		for i := 0; i < cfg.Nodes; i++ {
+			lbl[i] = fmt.Sprintf("shard%d@node%d", s, i)
+		}
+		c.detShard = append(c.detShard, lbl)
 	}
 	// Cumulative popularity for content sampling.
 	w := workload.ZipfWeights(popularityItems, cfg.SkewExponent)
@@ -110,8 +158,13 @@ func New(cfg config.ClusterConfig, m workload.Model, qopt qtrace.Options) (*Clus
 	return c, nil
 }
 
-// Engine exposes the shared engine.
-func (c *Cluster) Engine() *sim.Engine { return c.eng }
+// Engine exposes the front-end domain; its Stats() registry is shared by
+// every domain, so one registry walk covers the whole cluster.
+func (c *Cluster) Engine() *sim.Engine { return c.fe }
+
+// Multi exposes the domain coordinator (per-domain progress, total event
+// counts, barrier rounds).
+func (c *Cluster) Multi() *sim.MultiEngine { return c.me }
 
 // Config reports the cluster configuration.
 func (c *Cluster) Config() config.ClusterConfig { return c.cfg }
@@ -129,7 +182,7 @@ func (c *Cluster) QLog() *qtrace.Log { return c.qlog }
 func (c *Cluster) Completed() int { return c.completed }
 
 // Submitted reports how many queries have been scheduled.
-func (c *Cluster) Submitted() int { return len(c.queries) }
+func (c *Cluster) Submitted() int { return c.submitted }
 
 // content samples the query-popularity universe for query qid —
 // deterministic (a hash of qid drives inverse-CDF sampling, no shared RNG
@@ -155,39 +208,38 @@ func (c *Cluster) shardFrac(content, s int) float64 {
 // returns its query id. Call before Run; arrivals are processed inside
 // the event loop in time order.
 func (c *Cluster) SubmitAt(at sim.Time) int {
-	q := &query{c: c, id: len(c.queries), needed: c.needed}
-	q.content = c.content(q.id)
-	q.replica = make([]int, c.cfg.Shards)
-	q.shardStart = make([]sim.Time, c.cfg.Shards)
-	c.queries = append(c.queries, q)
-	c.eng.AtCall(at, q, qArrive)
-	return q.id
+	id := c.submitted
+	c.submitted++
+	c.fe.AtCall(at, c, uint64(id)<<qShift|qArrive)
+	return id
 }
 
-// Run drains the shared calendar and verifies every submitted query
-// merged.
+// Run drains all domains and verifies every submitted query merged.
 func (c *Cluster) Run() error {
-	c.eng.Run()
+	c.me.Run()
 	if c.err != nil {
 		return c.err
 	}
-	if c.completed != len(c.queries) {
-		return fmt.Errorf("cluster: %d of %d queries unmerged after run", len(c.queries)-c.completed, len(c.queries))
+	if c.completed != c.submitted {
+		return fmt.Errorf("cluster: %d of %d queries unmerged after run", c.submitted-c.completed, c.submitted)
 	}
 	return nil
 }
 
 // fail records the first internal error and stops scheduling new work.
+// Node domains call it concurrently under -pj, hence the mutex.
 func (c *Cluster) fail(err error) {
+	c.errMu.Lock()
 	if c.err == nil {
 		c.err = err
 	}
+	c.errMu.Unlock()
 }
 
 // NodeBusyPct reports node i's mean accelerator-fabric utilisation over
 // the run so far, in percent, averaged across its instances.
 func (c *Cluster) NodeBusyPct(i int) float64 {
-	now := c.eng.Now()
+	now := c.me.Now()
 	if now == 0 {
 		return 0
 	}
@@ -215,18 +267,34 @@ func (c *Cluster) MeanBusyPct() float64 {
 }
 
 // Query lifecycle phases, encoded in the event arg: low bits select the
-// phase, high bits carry the shard index for per-shard phases.
+// phase, high bits carry the shard index (or, for qArrive, the query id).
+// Each phase names the domain it runs in — the lifecycle alternates
+// between the front end and the nodes, every cross-domain leg riding a
+// CrossLink or a latency-only export.
 const (
-	qArrive   uint64 = iota // query hits the front end
-	qFeatures               // query image landed on the home node
-	qScatter                // feature vector landed on replica (arg>>qShift)
-	qResponse               // shard response landed back at the front end
-	qShift    = 2
+	qArrive     uint64 = iota // FE: query hits the front end (arg>>qShift = qid)
+	qImageIn                  // home node: query image landed at ingress
+	qFeatures                 // home node: image transfer done, submit FE job
+	qFeatDone                 // FE: home's completion notice (logging + router credit)
+	qShardIn                  // replica node: feature vector landed at ingress
+	qShardStart               // replica node: ingress transfer done, submit shard job
+	qRespIn                   // FE: shard response landed at gather ingress
+	qResponse                 // FE: response transfer done, merge + logging
+	qShift      = 3
 )
 
 // query is one in-flight scatter-gather request; it is its own event
 // handler, so the whole lifecycle schedules without closures (job
 // completion callbacks are the one exception — jobs already allocate).
+// Queries are pooled: the object and its per-shard slices recycle once the
+// last shard response merges, so steady-state submission allocates no
+// scatter/merge state.
+//
+// Concurrency contract under -pj: the front end writes the routing fields
+// at arrival, before the query is exported to any node; each timing slot
+// is written by exactly one domain (imgEnd/feStart/feEnd by the home,
+// shardExecStart/End[s] by shard s's replica) and read by the front end
+// only after a synchronizing mailbox delivery from the writer.
 type query struct {
 	c       *Cluster
 	id      int
@@ -234,129 +302,179 @@ type query struct {
 	home    int
 	replica []int
 
-	arrival    sim.Time
-	feStart    sim.Time
-	shardStart []sim.Time
+	arrival sim.Time
+	imgEnd  sim.Time
+	feStart sim.Time
+	feEnd   sim.Time
+
+	shardExecStart []sim.Time
+	shardExecEnd   []sim.Time
 
 	responses int
-	needed    int
 	merged    bool
 }
 
-// Fire advances the query's lifecycle.
+// getQuery pops a recycled query (or builds one) and initialises it for
+// query id. Front-end domain only.
+func (c *Cluster) getQuery(id int) *query {
+	var q *query
+	if n := len(c.qpool); n > 0 {
+		q = c.qpool[n-1]
+		c.qpool = c.qpool[:n-1]
+		q.responses = 0
+		q.merged = false
+	} else {
+		q = &query{
+			c:              c,
+			replica:        make([]int, c.cfg.Shards),
+			shardExecStart: make([]sim.Time, c.cfg.Shards),
+			shardExecEnd:   make([]sim.Time, c.cfg.Shards),
+		}
+	}
+	q.id = id
+	q.content = c.content(id)
+	return q
+}
+
+// Fire handles qArrive: the front end routes the query — the home node for
+// feature extraction and one replica per shard, all picked now, in
+// front-end event order, so the router's RNG state is consumed
+// deterministically regardless of how node domains interleave — and ships
+// the image to the home node.
+func (c *Cluster) Fire(eng *sim.Engine, arg uint64) {
+	q := c.getQuery(int(arg >> qShift))
+	now := eng.Now()
+	q.arrival = now
+	c.qlog.Submitted(q.id, q.id, now)
+	q.home = c.router.Pick(uint64(q.content), c.allNodes)
+	for s := 0; s < c.cfg.Shards; s++ {
+		q.replica[s] = c.router.Pick(uint64(q.content), c.replicaSets[s])
+	}
+	// Latency-only control export: the image bytes occupy the home's
+	// ingress link once they arrive in its domain.
+	eng.ExportAt(c.dom[q.home], now+c.netLat, q, qImageIn)
+}
+
+// Fire advances the query's lifecycle (all phases after arrival).
 func (q *query) Fire(eng *sim.Engine, arg uint64) {
 	c := q.c
 	now := eng.Now()
 	shard := int(arg >> qShift)
 	switch arg & (1<<qShift - 1) {
-	case qArrive:
-		q.arrival = now
-		c.qlog.Submitted(q.id, q.id, now)
-		// Home pick: the front end routes the raw query (image batch) to
-		// a node for feature extraction — any node qualifies.
-		q.home = c.router.Pick(uint64(q.content), c.allNodes)
-		reqDone := c.in[q.home].Transfer(c.model.BatchImageBytes())
-		c.qlog.Add(q.id, qtrace.Interval{
-			Phase: qtrace.PhaseXfer, Stage: stageFE,
-			Detail: fmt.Sprintf("client-node%d", q.home),
-			Start:  now, End: reqDone,
-		})
-		eng.AtCall(reqDone, q, qFeatures)
+	case qImageIn: // home node domain
+		q.imgEnd = c.in[q.home].TransferAt(now, c.model.BatchImageBytes())
+		eng.AtCall(q.imgEnd, q, qFeatures)
 
-	case qFeatures:
+	case qFeatures: // home node domain
 		q.feStart = now
-		j, err := buildFEJob(c.nodes[q.home], c.jobSeq, c.model)
+		j, err := buildFEJob(c.nodes[q.home], q.id*(c.cfg.Shards+1), c.model)
 		if err != nil {
 			c.fail(err)
 			return
 		}
-		c.jobSeq++
-		j.OnDone(func(*core.Job) { q.scatter() })
+		j.OnDone(func(*core.Job) { q.featDone() })
 		if err := c.nodes[q.home].GAM().Submit(j); err != nil {
 			c.fail(err)
 		}
 
-	case qScatter:
+	case qShardIn: // replica node domain
+		t := c.in[q.replica[shard]].TransferAt(now, c.model.BatchFeatureBytes())
+		eng.AtCall(t, q, uint64(shard)<<qShift|qShardStart)
+
+	case qShardStart: // replica node domain
 		node := q.replica[shard]
-		q.shardStart[shard] = now
-		j, err := buildShardJob(c.nodes[node], c.jobSeq, c.model, c.shardFrac(q.content, shard))
+		q.shardExecStart[shard] = now
+		j, err := buildShardJob(c.nodes[node], q.id*(c.cfg.Shards+1)+1+shard,
+			c.model, c.shardFrac(q.content, shard))
 		if err != nil {
 			c.fail(err)
 			return
 		}
-		c.jobSeq++
 		s := shard
-		j.OnDone(func(*core.Job) { q.respond(s) })
+		j.OnDone(func(*core.Job) { q.shardDone(s) })
 		if err := c.nodes[node].GAM().Submit(j); err != nil {
 			c.fail(err)
 		}
 
-	case qResponse:
+	case qFeatDone: // front-end domain
+		c.router.Done(q.home)
+		c.qlog.Add(q.id, qtrace.Interval{
+			Phase: qtrace.PhaseXfer, Stage: stageFE,
+			Detail: c.detImg[q.home],
+			Start:  q.arrival, End: q.imgEnd,
+		})
+		c.qlog.Add(q.id, qtrace.Interval{
+			Phase: qtrace.PhaseExec, Stage: stageFE, Level: "onchip",
+			Detail: c.detExec[q.home],
+			Start:  q.feStart, End: q.feEnd,
+		})
+
+	case qRespIn: // front-end domain
+		respBytes := scaleBytes(c.model.ResultBytesPerBatch(), c.shardFrac(q.content, shard))
+		t := c.feIn.TransferAt(now, respBytes)
+		eng.AtCall(t, q, uint64(shard)<<qShift|qResponse)
+
+	case qResponse: // front-end domain
+		node := q.replica[shard]
+		c.router.Done(node)
+		if node != q.home {
+			c.qlog.Add(q.id, qtrace.Interval{
+				Phase: qtrace.PhaseXfer, Stage: stageSL,
+				Detail: c.detScat[q.home][node],
+				Start:  q.feEnd, End: q.shardExecStart[shard],
+			})
+		}
+		c.qlog.Add(q.id, qtrace.Interval{
+			Phase: qtrace.PhaseExec, Stage: stageRR, Level: "nearmem+nearstor",
+			Detail: c.detShard[shard][node],
+			Start:  q.shardExecStart[shard], End: q.shardExecEnd[shard],
+		})
+		c.qlog.Add(q.id, qtrace.Interval{
+			Phase: qtrace.PhaseXfer, Stage: stageRR,
+			Detail: c.detResp[node],
+			Start:  q.shardExecEnd[shard], End: now,
+		})
 		q.responses++
-		if !q.merged && q.responses >= q.needed {
+		if !q.merged && q.responses >= c.needed {
 			q.merged = true
 			c.completed++
 			c.qlog.Completed(q.id, now)
 		}
+		if q.responses == c.cfg.Shards {
+			c.qpool = append(c.qpool, q) // last response: recycle
+		}
 	}
 }
 
-// scatter runs at FE completion on the home node: fan the feature vector
-// out to one replica per shard over the network (replicas co-located with
-// the home node skip the wire).
-func (q *query) scatter() {
+// featDone runs at FE-job completion in the home node's domain: notify the
+// front end (latency-only control message, off the critical path) and fan
+// the feature vector out to one replica per shard — co-located shards skip
+// the wire entirely, remote ones ride the home's egress CrossLink.
+func (q *query) featDone() {
 	c := q.c
-	now := c.eng.Now()
-	c.router.Done(q.home)
-	c.qlog.Add(q.id, qtrace.Interval{
-		Phase: qtrace.PhaseExec, Stage: stageFE, Level: "onchip",
-		Detail: fmt.Sprintf("node%d", q.home),
-		Start:  q.feStart, End: now,
-	})
+	home := c.dom[q.home]
+	now := home.Now()
+	q.feEnd = now
+	home.ExportAt(c.fe, now+c.netLat, q, qFeatDone)
 	featBytes := c.model.BatchFeatureBytes()
 	for s := 0; s < c.cfg.Shards; s++ {
-		node := c.router.Pick(uint64(q.content), c.cfg.ReplicaNodes(s))
-		q.replica[s] = node
-		arg := qScatter | uint64(s)<<qShift
+		node := q.replica[s]
 		if node == q.home {
-			c.eng.AtCall(now, q, arg)
+			home.AtCall(now, q, uint64(s)<<qShift|qShardStart)
 			continue
 		}
-		t := c.out[q.home].Transfer(featBytes)
-		t = c.in[node].TransferAt(t, featBytes)
-		c.qlog.Add(q.id, qtrace.Interval{
-			Phase: qtrace.PhaseXfer, Stage: stageSL,
-			Detail: fmt.Sprintf("node%d-node%d", q.home, node),
-			Start:  now, End: t,
-		})
-		c.eng.AtCall(t, q, arg)
+		c.out[q.home].Send(c.dom[node], featBytes, q, uint64(s)<<qShift|qShardIn)
 	}
 }
 
-// respond runs at a shard job's completion on its replica: send the
-// shard's rerank results back to the front end for the merge.
-func (q *query) respond(shard int) {
+// shardDone runs at a shard job's completion in its replica's domain: send
+// the shard's rerank results back to the front end for the merge. The
+// gather always crosses the wire — the front end is its own tier.
+func (q *query) shardDone(shard int) {
 	c := q.c
-	now := c.eng.Now()
 	node := q.replica[shard]
-	c.router.Done(node)
-	c.qlog.Add(q.id, qtrace.Interval{
-		Phase: qtrace.PhaseExec, Stage: stageRR, Level: "nearmem+nearstor",
-		Detail: fmt.Sprintf("shard%d@node%d", shard, node),
-		Start:  q.shardStart[shard], End: now,
-	})
-	arg := qResponse | uint64(shard)<<qShift
-	if node == q.home {
-		c.eng.AtCall(now, q, arg)
-		return
-	}
+	d := c.dom[node]
+	q.shardExecEnd[shard] = d.Now()
 	respBytes := scaleBytes(c.model.ResultBytesPerBatch(), c.shardFrac(q.content, shard))
-	t := c.out[node].Transfer(respBytes)
-	t = c.in[q.home].TransferAt(t, respBytes)
-	c.qlog.Add(q.id, qtrace.Interval{
-		Phase: qtrace.PhaseXfer, Stage: stageRR,
-		Detail: fmt.Sprintf("node%d-node%d", node, q.home),
-		Start:  now, End: t,
-	})
-	c.eng.AtCall(t, q, arg)
+	c.out[node].Send(c.fe, respBytes, q, uint64(shard)<<qShift|qRespIn)
 }

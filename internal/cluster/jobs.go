@@ -17,6 +17,29 @@ const (
 	stageRR = "Rerank"
 )
 
+// Shard-task name tables, precomputed for the common instance counts so
+// the per-query job-build path formats nothing; nodes with more instances
+// fall back to fmt (cold, config-dependent).
+var (
+	slNames = taskNames("sl", 16)
+	rrNames = taskNames("rr", 16)
+)
+
+func taskNames(prefix string, n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("%s%d", prefix, i)
+	}
+	return out
+}
+
+func taskName(table []string, prefix string, i int) string {
+	if i < len(table) {
+		return table[i]
+	}
+	return fmt.Sprintf("%s%d", prefix, i)
+}
+
 // scaleBytes applies a shard's work fraction to a byte count, never
 // rounding a non-empty payload down to zero.
 func scaleBytes(b int64, frac float64) int64 {
@@ -68,7 +91,7 @@ func buildShardJob(node *core.System, id int, m workload.Model, frac float64) (*
 	var sl []*core.TaskNode
 	for i := 0; i < nm; i++ {
 		n := j.AddTask(accel.Task{
-			Name: fmt.Sprintf("sl%d", i), Stage: stageSL, Kernel: gemm,
+			Name: taskName(slNames, "sl", i), Stage: stageSL, Kernel: gemm,
 			MACs:   m.ShortlistMACsPerBatch() * frac / float64(nm),
 			Bytes:  scaleBytes(m.ShortlistScanBytesPerBatch(), frac) / int64(nm),
 			Source: accel.SourceLocalDIMM, Pattern: storage.Sequential,
@@ -79,7 +102,7 @@ func buildShardJob(node *core.System, id int, m workload.Model, frac float64) (*
 	}
 	for i := 0; i < ns; i++ {
 		n := j.AddTask(accel.Task{
-			Name: fmt.Sprintf("rr%d", i), Stage: stageRR, Kernel: knn,
+			Name: taskName(rrNames, "rr", i), Stage: stageRR, Kernel: knn,
 			MACs:   m.RerankMACsPerBatch() * frac / float64(ns),
 			Bytes:  scaleBytes(m.RerankScanBytesPerBatch(), frac) / int64(ns),
 			Source: accel.SourceSSD, Pattern: storage.RandomPages,

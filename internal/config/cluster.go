@@ -49,6 +49,12 @@ type ClusterConfig struct {
 	// share of its work is much larger than the others'. 0 is uniform.
 	SkewExponent float64 `json:"skew_exponent"`
 
+	// ParallelDomains is how many worker goroutines execute the cluster's
+	// event domains (one per node plus the front end) each synchronization
+	// round; 0 or 1 runs the partition serially. Purely a wall-clock knob:
+	// simulation output is byte-identical at any value.
+	ParallelDomains int `json:"parallel_domains,omitempty"`
+
 	// Node is the per-server hardware configuration.
 	Node SystemConfig `json:"node"`
 }
@@ -62,15 +68,16 @@ func RoutePolicies() []string { return []string{"hash", "rr", "p2c"} }
 // throughput comes from scale-out, not from maxing every server).
 func DefaultCluster() ClusterConfig {
 	return ClusterConfig{
-		Nodes:        4,
-		Shards:       4,
-		Replication:  2,
-		NetGBps:      10.0,
-		NetLatencyUS: 10.0,
-		RoutePolicy:  "p2c",
-		RouteSeed:    1,
-		SkewExponent: 1.0,
-		Node:         Default().WithInstances(1, 2, 2),
+		Nodes:           4,
+		Shards:          4,
+		Replication:     2,
+		NetGBps:         10.0,
+		NetLatencyUS:    10.0,
+		RoutePolicy:     "p2c",
+		RouteSeed:       1,
+		SkewExponent:    1.0,
+		ParallelDomains: 1,
+		Node:            Default().WithInstances(1, 2, 2),
 	}
 }
 
@@ -140,8 +147,13 @@ func (c *ClusterConfig) Validate() error {
 	if c.NetGBps <= 0 {
 		return fmt.Errorf("cluster: net_gbps must be positive, got %v", c.NetGBps)
 	}
-	if c.NetLatencyUS < 0 {
-		return fmt.Errorf("cluster: net_latency_us must be non-negative, got %v", c.NetLatencyUS)
+	if c.NetLatencyUS <= 0 {
+		// Strictly positive: the wire latency is the conservative lookahead
+		// that lets the per-node event domains run in parallel.
+		return fmt.Errorf("cluster: net_latency_us must be positive, got %v", c.NetLatencyUS)
+	}
+	if c.ParallelDomains < 0 {
+		return fmt.Errorf("cluster: parallel_domains must be non-negative, got %d", c.ParallelDomains)
 	}
 	switch c.RoutePolicy {
 	case "hash", "rr", "p2c":

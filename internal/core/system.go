@@ -36,6 +36,14 @@ type System struct {
 	nearMem  []*accel.NearMemAccel
 	nearStor []*accel.NearStorAccel
 
+	// Cached interface views of the populations above, served by
+	// Accelerators: the GAM consults the per-level instance list on every
+	// dispatch decision, so rebuilding the slice there dominated cluster
+	// allocation profiles.
+	accOnChip   []accel.Accelerator
+	accNearMem  []accel.Accelerator
+	accNearStor []accel.Accelerator
+
 	gam *GAM
 }
 
@@ -45,13 +53,15 @@ func NewSystem(cfg config.SystemConfig) (*System, error) {
 	return NewNode(sim.NewEngine(), cfg, "")
 }
 
-// NewNode builds one ReACH server as a composable node on a shared
-// engine. Every resource the node constructs — memory ports, NoC links,
-// SSD channels, GAM stream buffers — registers under prefix (e.g.
-// "node0."), so N nodes coexist in one registry with disjoint
-// hierarchical names. An empty prefix reproduces the single-server
-// registry byte for byte.
-func NewNode(eng *sim.Engine, cfg config.SystemConfig, prefix string) (*System, error) {
+// NewNode builds one ReACH server as a composable node on an event
+// domain — either a standalone engine shared with other nodes (serial
+// cluster) or one domain of a sim.MultiEngine (parallel cluster; the
+// node's entire hardware platform then executes in that domain). Every
+// resource the node constructs — memory ports, NoC links, SSD channels,
+// GAM stream buffers — registers under prefix (e.g. "node0."), so N nodes
+// coexist in one registry with disjoint hierarchical names. An empty
+// prefix reproduces the single-server registry byte for byte.
+func NewNode(eng *sim.Domain, cfg config.SystemConfig, prefix string) (*System, error) {
 	meter := energy.NewMeter(energy.DefaultCosts())
 	old := eng.Stats().SetPrefix(prefix)
 	plat, err := accel.NewPlatform(eng, cfg, meter)
@@ -84,6 +94,15 @@ func NewNode(eng *sim.Engine, cfg config.SystemConfig, prefix string) (*System, 
 		}
 		s.nearStor = append(s.nearStor, a)
 	}
+	for _, a := range s.onChip {
+		s.accOnChip = append(s.accOnChip, a)
+	}
+	for _, a := range s.nearMem {
+		s.accNearMem = append(s.accNearMem, a)
+	}
+	for _, a := range s.nearStor {
+		s.accNearStor = append(s.accNearStor, a)
+	}
 	s.gam = newGAM(s)
 	return s, nil
 }
@@ -110,27 +129,17 @@ func (s *System) Registry() *fpga.Registry { return s.registry }
 // GAM exposes the global accelerator manager.
 func (s *System) GAM() *GAM { return s.gam }
 
-// Accelerators returns the instances at one level.
+// Accelerators returns the instances at one level. The slice is a cached
+// view built at construction (the population is fixed after NewNode) and
+// is on the GAM's per-dispatch path — callers must not mutate it.
 func (s *System) Accelerators(l accel.Level) []accel.Accelerator {
 	switch l {
 	case accel.OnChip:
-		out := make([]accel.Accelerator, len(s.onChip))
-		for i, a := range s.onChip {
-			out[i] = a
-		}
-		return out
+		return s.accOnChip
 	case accel.NearMemory:
-		out := make([]accel.Accelerator, len(s.nearMem))
-		for i, a := range s.nearMem {
-			out[i] = a
-		}
-		return out
+		return s.accNearMem
 	case accel.NearStorage:
-		out := make([]accel.Accelerator, len(s.nearStor))
-		for i, a := range s.nearStor {
-			out[i] = a
-		}
-		return out
+		return s.accNearStor
 	default:
 		return nil
 	}

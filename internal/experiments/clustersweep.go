@@ -108,6 +108,9 @@ func ClusterSweep(m workload.Model, cfg config.ClusterConfig, nodeCounts []int, 
 		if ccfg.ShardMap == nil && ccfg.Replication > cell.nodes {
 			ccfg.Replication = cell.nodes
 		}
+		if o.clusterPJ >= 0 {
+			ccfg.ParallelDomains = o.clusterPJ
+		}
 		cl, err := cluster.New(ccfg, m, qtrace.Options{DropTimelines: true})
 		if err != nil {
 			return nil, err
@@ -147,12 +150,18 @@ func ClusterSweep(m workload.Model, cfg config.ClusterConfig, nodeCounts []int, 
 
 // ClusterRun executes one cluster deployment under seeded Poisson
 // arrivals and reduces it to a summary table — the CLI's -cluster path
-// and the CI cluster smoke. Deterministic for fixed inputs: the table is
-// byte-identical run to run, which is what the smoke golden diffs.
-func ClusterRun(m workload.Model, cfg config.ClusterConfig, queries int, rate float64, seed int64, qopt qtrace.Options) (*cluster.Cluster, *report.Table, error) {
+// and the CI cluster smoke. observe, when non-nil, receives the assembled
+// cluster before the simulation starts, so live tooling (the inspector's
+// per-domain progress view) can attach to the MultiEngine. Deterministic
+// for fixed inputs: the table is byte-identical run to run — and at any
+// ParallelDomains — which is what the smoke golden diffs.
+func ClusterRun(m workload.Model, cfg config.ClusterConfig, queries int, rate float64, seed int64, qopt qtrace.Options, observe func(*cluster.Cluster)) (*cluster.Cluster, *report.Table, error) {
 	cl, err := cluster.New(cfg, m, qopt)
 	if err != nil {
 		return nil, nil, err
+	}
+	if observe != nil {
+		observe(cl)
 	}
 	at := ArrivalSpec{Process: ArrivalPoisson, Seed: seed}.schedule(rate, queries, 0)
 	for q := 0; q < queries; q++ {
@@ -177,7 +186,8 @@ func ClusterRun(m workload.Model, cfg config.ClusterConfig, queries int, rate fl
 	}
 	t.AddRow("routed imbalance", report.F(cl.RouterStats().Imbalance(), 2))
 	t.AddRow("peak queue imbalance", report.F(cl.RouterStats().PeakImbalance(), 2))
-	t.AddRow("sim events", fmt.Sprintf("%d", cl.Engine().Executed()))
+	t.AddRow("sim events", fmt.Sprintf("%d", cl.Multi().Executed()))
+	t.AddRow("sync rounds", fmt.Sprintf("%d", cl.Multi().Rounds()))
 	return cl, t, nil
 }
 

@@ -43,6 +43,16 @@ type Snapshot struct {
 	// Resources carries the most recent completed run's per-resource busy
 	// fractions, in registry (sorted-name) order.
 	Resources []ResourceBusy `json:"resources,omitempty"`
+
+	// Domain-partition progress, present when a MultiEngine is observed
+	// (cluster runs): the barrier-round count, the conservative lookahead,
+	// and per-domain clocks/mailbox depths from the latest barrier-
+	// consistent snapshot — a live view of how far each node's domain has
+	// advanced and how much cross-domain traffic is in flight.
+	BarrierRounds       uint64    `json:"barrier_rounds,omitempty"`
+	LookaheadUS         float64   `json:"lookahead_us,omitempty"`
+	DomainClocksUS      []float64 `json:"domain_clocks_us,omitempty"`
+	DomainMailboxDepths []int     `json:"domain_mailbox_depths,omitempty"`
 }
 
 // Server is the inspector. It implements qtrace.Observer, so wiring it as
@@ -57,6 +67,7 @@ type Server struct {
 	runsDone  int
 	lastRun   string
 	resources []ResourceBusy
+	multi     *sim.MultiEngine
 }
 
 // New returns an inspector with empty counters. Call Start to serve.
@@ -89,6 +100,17 @@ func (s *Server) ObserveRun(run string, reg *sim.StatsRegistry) {
 	s.mu.Unlock()
 }
 
+// ObserveMulti attaches a domain coordinator (a cluster's MultiEngine):
+// snapshots thereafter include its barrier rounds, lookahead and
+// per-domain clocks/mailbox depths. Safe to call before Run — the
+// coordinator publishes a barrier-consistent snapshot each round, so
+// polling /progress while the simulation executes is race-free.
+func (s *Server) ObserveMulti(me *sim.MultiEngine) {
+	s.mu.Lock()
+	s.multi = me
+	s.mu.Unlock()
+}
+
 // Snapshot returns the current progress state.
 func (s *Server) Snapshot() Snapshot {
 	s.mu.Lock()
@@ -105,6 +127,17 @@ func (s *Server) Snapshot() Snapshot {
 		snap.P95Ms = s.sketch.Quantile(0.95).Milliseconds()
 		snap.P99Ms = s.sketch.Quantile(0.99).Milliseconds()
 		snap.P999Ms = s.sketch.Quantile(0.999).Milliseconds()
+	}
+	if s.multi != nil {
+		p := s.multi.Progress() // its own mutex; barrier-consistent
+		snap.BarrierRounds = p.Rounds
+		if p.Lookahead != sim.MaxTime {
+			snap.LookaheadUS = p.Lookahead.Microseconds()
+		}
+		for _, d := range p.Domains {
+			snap.DomainClocksUS = append(snap.DomainClocksUS, d.Clock.Microseconds())
+			snap.DomainMailboxDepths = append(snap.DomainMailboxDepths, d.Mailbox)
+		}
 	}
 	return snap
 }
@@ -144,6 +177,18 @@ func publishVars() {
 			out[r.Name] = r.BusyPct
 		}
 		return out
+	}))
+	expvar.Publish("sim_barrier_rounds", expvar.Func(func() any {
+		snap, _ := snapshotActive()
+		return snap.BarrierRounds
+	}))
+	expvar.Publish("sim_domain_clocks_us", expvar.Func(func() any {
+		snap, _ := snapshotActive()
+		return snap.DomainClocksUS
+	}))
+	expvar.Publish("sim_domain_mailbox_depths", expvar.Func(func() any {
+		snap, _ := snapshotActive()
+		return snap.DomainMailboxDepths
 	}))
 }
 

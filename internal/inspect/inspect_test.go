@@ -135,6 +135,61 @@ func TestSecondServerTakesOverExpvar(t *testing.T) {
 	}
 }
 
+// multiNop is a minimal handler for driving a MultiEngine in tests.
+type multiNop struct{}
+
+func (multiNop) Fire(*sim.Engine, uint64) {}
+
+// TestObserveMulti: after attaching a MultiEngine, /progress and expvar
+// report the per-domain view — barrier rounds, the conservative lookahead
+// and each domain's clock — alongside the query metrics.
+func TestObserveMulti(t *testing.T) {
+	s := New()
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	me := sim.NewMultiEngine(2)
+	x := sim.NewCrossLink(me.Domain(0), "net", 1e9, sim.Millisecond)
+	me.Domain(0).AtCall(sim.Millisecond, crossSender{x, me.Domain(1)}, 0)
+	s.ObserveMulti(me)
+	me.Run()
+
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(get(t, "http://"+s.Addr()+"/progress")), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.BarrierRounds == 0 {
+		t.Error("barrier_rounds = 0 after a multi-domain run")
+	}
+	if want := sim.Millisecond.Microseconds(); snap.LookaheadUS != want {
+		t.Errorf("lookahead_us = %v, want %v", snap.LookaheadUS, want)
+	}
+	if len(snap.DomainClocksUS) != 2 {
+		t.Fatalf("domain_clocks_us has %d entries, want 2", len(snap.DomainClocksUS))
+	}
+	if len(snap.DomainMailboxDepths) != 2 {
+		t.Fatalf("domain_mailbox_depths has %d entries, want 2", len(snap.DomainMailboxDepths))
+	}
+	vars := get(t, "http://"+s.Addr()+"/debug/vars")
+	for _, want := range []string{"sim_barrier_rounds", "sim_domain_clocks_us", "sim_domain_mailbox_depths"} {
+		if !strings.Contains(vars, want) {
+			t.Errorf("/debug/vars missing %q", want)
+		}
+	}
+}
+
+// crossSender exports one event across the link when fired.
+type crossSender struct {
+	x   *sim.CrossLink
+	dst *sim.Engine
+}
+
+func (c crossSender) Fire(e *sim.Engine, arg uint64) {
+	c.x.Send(c.dst, 64, multiNop{}, arg)
+}
+
 // TestProgressEmptyServer: a just-started inspector serves zeros, not NaNs
 // or errors.
 func TestProgressEmptyServer(t *testing.T) {

@@ -112,6 +112,15 @@ type Engine struct {
 	executed uint64
 	running  bool
 	stats    *StatsRegistry
+
+	// Domain fields, zero/nil on a standalone engine. When multi is set the
+	// engine is one domain of a MultiEngine: the coordinator drives it via
+	// runBound, xseq orders its cross-domain exports, and inbox receives
+	// events exported by sibling domains (see domain.go).
+	id    int32
+	multi *MultiEngine
+	xseq  uint64
+	inbox inbox
 }
 
 // NewEngine returns an engine with the clock at time zero and an empty
@@ -354,6 +363,9 @@ func (e *Engine) Run() {
 // to min(deadline, time of last event). Events scheduled beyond the deadline
 // stay in the calendar.
 func (e *Engine) RunUntil(deadline Time) {
+	if e.multi != nil {
+		panic("sim: domain of a MultiEngine; use MultiEngine.Run")
+	}
 	if e.running {
 		panic("sim: re-entrant Run")
 	}
@@ -367,6 +379,24 @@ func (e *Engine) RunUntil(deadline Time) {
 	}
 	if deadline != MaxTime && deadline > e.now {
 		e.now = deadline
+	}
+}
+
+// runBound dispatches every event strictly before bound — one domain's
+// share of a MultiEngine barrier round. Unlike RunUntil's inclusive
+// deadline, the bound is exclusive: events exactly at the bound may still
+// be preempted by a cross-domain arrival at the same timestamp with a
+// smaller merge key, so they wait for the next round. The clock is left at
+// the last executed event, not advanced to the bound, because the next
+// round's window is computed from real event times.
+func (e *Engine) runBound(bound Time) {
+	if e.running {
+		panic("sim: re-entrant round execution")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for len(e.heap) > 0 && e.heap[0].at < bound {
+		e.dispatch(e.popMin())
 	}
 }
 
