@@ -20,14 +20,21 @@
 #                      run at -pj 1, 4 and 8 worker goroutines must emit
 #                      byte-identical reports, plus the race detector over
 #                      the multi-domain engine and cluster tests
+#   make cache-smoke — front-end result-cache check: the pinned cluster
+#                      run with -cache 32 at -pj 1, 4 and 8 must emit
+#                      byte-identical reports (cache rows included), the
+#                      cache-off run must still match the committed
+#                      golden, and the race detector sweeps the cluster
+#                      package with its cache tests
 
 GO ?= go
 SMOKE_DIR := metrics-smoke-out
 QSMOKE_DIR := qtrace-smoke-out
 CSMOKE_DIR := cluster-smoke-out
 PSMOKE_DIR := cluster-par-smoke-out
+CACHESMOKE_DIR := cache-smoke-out
 
-.PHONY: check fmt-check build vet test race bench bench-smoke metrics-smoke qtrace-smoke cluster-smoke cluster-par-smoke
+.PHONY: check fmt-check build vet test race bench bench-smoke metrics-smoke qtrace-smoke cluster-smoke cluster-par-smoke cache-smoke
 
 check: fmt-check build vet race
 
@@ -130,3 +137,23 @@ cluster-par-smoke:
 	diff $(PSMOKE_DIR)/pj1.txt $(PSMOKE_DIR)/pj8.txt
 	diff cmd/reachsim/testdata/cluster_smoke.golden $(PSMOKE_DIR)/pj1.txt
 	$(GO) test -race ./internal/sim/ ./internal/cluster/
+
+# Front-end cache smoke: cache-on determinism (the -cache 32 run is
+# byte-identical at any -pj, cache accounting rows included), the
+# cache-off golden untouched by the cache's existence, and the race
+# detector over the cluster package — the live inspector reads the cache
+# counters from another goroutine, so the atomics earn their keep here.
+cache-smoke:
+	rm -rf $(CACHESMOKE_DIR) && mkdir -p $(CACHESMOKE_DIR)
+	$(GO) build -o $(CACHESMOKE_DIR)/reachsim ./cmd/reachsim
+	$(CACHESMOKE_DIR)/reachsim -cluster -cache 32 -pj 1 > $(CACHESMOKE_DIR)/cache-pj1.txt
+	$(CACHESMOKE_DIR)/reachsim -cluster -cache 32 -pj 4 > $(CACHESMOKE_DIR)/cache-pj4.txt
+	$(CACHESMOKE_DIR)/reachsim -cluster -cache 32 -pj 8 > $(CACHESMOKE_DIR)/cache-pj8.txt
+	diff $(CACHESMOKE_DIR)/cache-pj1.txt $(CACHESMOKE_DIR)/cache-pj4.txt
+	diff $(CACHESMOKE_DIR)/cache-pj1.txt $(CACHESMOKE_DIR)/cache-pj8.txt
+	grep -q 'cache hit rate %' $(CACHESMOKE_DIR)/cache-pj1.txt
+	$(CACHESMOKE_DIR)/reachsim -cluster > $(CACHESMOKE_DIR)/cache-off.txt
+	diff cmd/reachsim/testdata/cluster_smoke.golden $(CACHESMOKE_DIR)/cache-off.txt
+	$(CACHESMOKE_DIR)/reachsim -exp cachesweep > $(CACHESMOKE_DIR)/cachesweep.txt
+	grep -q 'cache-off p99' $(CACHESMOKE_DIR)/cachesweep.txt
+	$(GO) test -race -run 'Cache' ./internal/cluster/ ./internal/experiments/ ./internal/inspect/

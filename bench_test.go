@@ -276,6 +276,41 @@ func BenchmarkClusterScatterGather(b *testing.B) {
 	b.ReportMetric(ratio, "hash_over_p2c_p99_x")
 }
 
+// BenchmarkClusterCachedScatterGather runs the front-end cache sweep
+// (off/8/32 entries x two TTLs x two skews x two Poisson rates) and
+// reports the headline caching payoff: cache-off p99 over the best cached
+// p99 at the heaviest (skew, rate) corner, plus that cell's hit rate.
+func BenchmarkClusterCachedScatterGather(b *testing.B) {
+	m := workload.DefaultModel()
+	var ratio, hitRate float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.DefaultCacheSweep(m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		skews := experiments.DefaultCacheSkews()
+		rates := experiments.DefaultCacheRates()
+		maxSkew, maxRate := skews[len(skews)-1], rates[len(rates)-1]
+		off := res.Point(0, 0, maxSkew, maxRate)
+		var best *experiments.CachePoint
+		for _, p := range res.Points {
+			if p.Entries == 0 || p.Skew != maxSkew || p.OfferedQPS != maxRate {
+				continue
+			}
+			if best == nil || p.P99 < best.P99 {
+				best = p
+			}
+		}
+		if off == nil || best == nil || best.P99 <= 0 {
+			b.Fatal("sweep missing off/cached cells at peak")
+		}
+		ratio = float64(off.P99) / float64(best.P99)
+		hitRate = best.Cache.HitRate
+	}
+	b.ReportMetric(ratio, "off_over_cached_p99_x")
+	b.ReportMetric(hitRate*100, "best_hit_rate_%")
+}
+
 // runFullEvaluation executes every simulator-backed experiment once with at
 // most `workers` simulations in flight across all of them — the same shape
 // as `reachsim -exp all -j workers`.

@@ -9,8 +9,10 @@
 //	reachsim -exp fig9 -csv        # CSV instead of aligned text
 //	reachsim -exp taillatency      # Poisson open-loop tail-latency sweep
 //	reachsim -exp clustersweep     # N-node scatter-gather scale-out sweep
+//	reachsim -exp cachesweep       # front-end cache capacity × TTL × skew sweep
 //	reachsim -cluster              # one 4-node cluster run, summary table
 //	reachsim -cluster -nodes 8 -route hash
+//	reachsim -cluster -cache 32    # same run with the front-end result cache on
 //	reachsim -exp all -http :8080  # live inspector while experiments run
 //	reachsim -list                 # list experiment ids
 package main
@@ -53,7 +55,7 @@ var experimentIDs = []string{
 // sweep's Poisson runs and the cluster scale-out don't belong to the
 // paper's evaluation tables, and keeping them out preserves `-exp all`
 // output byte-for-byte.
-var extraIDs = []string{"clustersweep", "taillatency"}
+var extraIDs = []string{"cachesweep", "clustersweep", "taillatency"}
 
 // Fixed inputs of the -cluster single run, pinned so its stdout is a
 // stable golden for the CI cluster smoke.
@@ -86,6 +88,8 @@ func main() {
 		nodesF    = flag.Int("nodes", 0, "with -cluster, override the node count (default 4)")
 		routeF    = flag.String("route", "", "with -cluster, override the routing policy: hash, rr, p2c (default p2c)")
 		pjF       = flag.Int("pj", 0, "worker goroutines per cluster simulation's event domains (0 = config default, 1 = serial); output is byte-identical at any -pj")
+		cacheF    = flag.Int("cache", 0, "with -cluster, enable the front-end result cache with this many entries (0 = off, the default)")
+		cacheTTLF = flag.Float64("cache-ttl", 0, "with -cluster -cache, override the cache TTL in milliseconds (0 = config default, 500)")
 	)
 	flag.Parse()
 
@@ -155,7 +159,7 @@ func main() {
 	}
 
 	if *clusterF {
-		if err := runCluster(os.Stdout, *nodesF, *routeF, *pjF, *csvOut, *httpAddr, *httpWait); err != nil {
+		if err := runCluster(os.Stdout, *nodesF, *routeF, *pjF, *cacheF, *cacheTTLF, *csvOut, *httpAddr, *httpWait); err != nil {
 			fatal(err)
 		}
 		return
@@ -234,12 +238,13 @@ func listOutput() string {
 }
 
 // runCluster is the -cluster path: one pinned scatter-gather deployment
-// (default cluster config, node count, routing policy and domain
-// parallelism overridable), its summary table on w. With httpAddr set the
-// run serves the live inspector, observing every query completion, the
-// per-domain clocks/mailboxes while the run executes, and the final
-// registry. Output is byte-identical at any pj.
-func runCluster(w io.Writer, nodes int, route string, pj int, csv bool, httpAddr string, httpWait time.Duration) error {
+// (default cluster config; node count, routing policy, domain parallelism
+// and the front-end result cache overridable), its summary table on w.
+// With httpAddr set the run serves the live inspector, observing every
+// query completion, the per-domain clocks/mailboxes and cache counters
+// while the run executes, and the final registry. Output is byte-identical
+// at any pj.
+func runCluster(w io.Writer, nodes int, route string, pj, cacheEntries int, cacheTTL float64, csv bool, httpAddr string, httpWait time.Duration) error {
 	ccfg := config.DefaultCluster()
 	if nodes > 0 {
 		ccfg.Nodes = nodes
@@ -252,6 +257,12 @@ func runCluster(w io.Writer, nodes int, route string, pj int, csv bool, httpAddr
 	}
 	if pj > 0 {
 		ccfg.ParallelDomains = pj
+	}
+	if cacheEntries > 0 {
+		ccfg.CacheEntries = cacheEntries
+	}
+	if cacheTTL > 0 {
+		ccfg.CacheTTLMS = cacheTTL
 	}
 	qo := qtrace.Options{}
 	var insp *inspect.Server
@@ -266,7 +277,19 @@ func runCluster(w io.Writer, nodes int, route string, pj int, csv bool, httpAddr
 	}
 	var observe func(*cluster.Cluster)
 	if insp != nil {
-		observe = func(cl *cluster.Cluster) { insp.ObserveMulti(cl.Multi()) }
+		observe = func(cl *cluster.Cluster) {
+			insp.ObserveMulti(cl.Multi())
+			if cl.CacheEnabled() {
+				insp.ObserveCache(func() inspect.CacheCounters {
+					cs := cl.CacheStats()
+					return inspect.CacheCounters{
+						Hits: cs.Hits, Misses: cs.Misses, Expired: cs.Expired,
+						Coalesced: cs.Coalesced, Evictions: cs.Evictions,
+						Lookups: cs.Lookups, HitRate: cs.HitRate,
+					}
+				})
+			}
+		}
 	}
 	cl, t, err := experiments.ClusterRun(workload.DefaultModel(), ccfg,
 		clusterRunQueries, clusterRunQPS, clusterRunSeed, qo, observe)
@@ -619,6 +642,12 @@ func run(id string, cfg config.SystemConfig, m workload.Model, opts ...experimen
 			return nil, err
 		}
 		return []*report.Table{experiments.ClusterSweepTable(r)}, nil
+	case "cachesweep":
+		r, err := experiments.DefaultCacheSweep(m, opts...)
+		if err != nil {
+			return nil, err
+		}
+		return []*report.Table{experiments.CacheSweepTable(r)}, nil
 	case "ablation-nsbuffer":
 		r, err := experiments.AblationNSBuffer(m, opts...)
 		if err != nil {

@@ -69,6 +69,7 @@ table3
 table4
 
 extra (runnable, excluded from -exp all):
+cachesweep
 clustersweep
 taillatency
 `

@@ -248,7 +248,7 @@ func TestClusterRunGolden(t *testing.T) {
 		t.Fatal(err)
 	}
 	var got strings.Builder
-	if err := runCluster(&got, 0, "", 0, false, "", 0); err != nil {
+	if err := runCluster(&got, 0, "", 0, 0, 0, false, "", 0); err != nil {
 		t.Fatal(err)
 	}
 	if got.String() != string(want) {
@@ -263,7 +263,7 @@ func TestClusterRunGolden(t *testing.T) {
 func TestClusterRunParallelInvariant(t *testing.T) {
 	render := func(pj int) string {
 		var out strings.Builder
-		if err := runCluster(&out, 0, "", pj, false, "", 0); err != nil {
+		if err := runCluster(&out, 0, "", pj, 0, 0, false, "", 0); err != nil {
 			t.Fatalf("pj=%d: %v", pj, err)
 		}
 		return out.String()
@@ -272,6 +272,30 @@ func TestClusterRunParallelInvariant(t *testing.T) {
 	for _, pj := range []int{4, 8} {
 		if got := render(pj); got != serial {
 			t.Fatalf("-pj %d output diverged from -pj 1:\ngot:\n%swant:\n%s", pj, got, serial)
+		}
+	}
+}
+
+// TestClusterRunCachedParallelInvariant extends the CLI determinism bar to
+// the cache-on path: with the front-end result cache enabled, the pinned
+// -cluster run's stdout — summary table, cache rows included — is
+// byte-identical at -pj 1, -pj 4 and -pj 8. This is what `make
+// cache-smoke` diffs in CI.
+func TestClusterRunCachedParallelInvariant(t *testing.T) {
+	render := func(pj int) string {
+		var out strings.Builder
+		if err := runCluster(&out, 0, "", pj, 32, 0, false, "", 0); err != nil {
+			t.Fatalf("pj=%d: %v", pj, err)
+		}
+		return out.String()
+	}
+	serial := render(1)
+	if !strings.Contains(serial, "cache hit rate %") {
+		t.Fatalf("cache-on run emitted no cache rows:\n%s", serial)
+	}
+	for _, pj := range []int{4, 8} {
+		if got := render(pj); got != serial {
+			t.Fatalf("-cache 32 -pj %d output diverged from -pj 1:\ngot:\n%swant:\n%s", pj, got, serial)
 		}
 	}
 }

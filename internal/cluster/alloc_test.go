@@ -48,6 +48,41 @@ func TestClusterQueryAllocBudget(t *testing.T) {
 	}
 }
 
+// TestClusterCachedQueryAllocBudget holds the cache-on path to the same
+// budget: the LRU is a fixed slot array, singleflight entries and waiter
+// slices recycle, and a hit never builds a query object — so enabling the
+// cache must not add per-query garbage (hits and coalesced queries skip
+// the job graphs entirely, so the mean typically drops).
+func TestClusterCachedQueryAllocBudget(t *testing.T) {
+	cfg := config.DefaultCluster()
+	cfg.CacheEntries = 8
+	cl, err := New(cfg, testModel(), qtrace.Options{DropTimelines: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	submitBatch := func(n int) {
+		base := cl.Multi().Now()
+		for i := 0; i < n; i++ {
+			cl.SubmitAt(base + sim.Time(i+1)*sim.Millisecond)
+		}
+		if err := cl.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	submitBatch(16) // warm query pool, cache, coalescer, GAM state
+
+	const queries = 8
+	perQuery := testing.AllocsPerRun(5, func() { submitBatch(queries) }) / queries
+	const budget = 500.0
+	t.Logf("cached cluster query allocates %.1f objects (budget %.0f)", perQuery, budget)
+	if perQuery > budget {
+		t.Errorf("cached cluster query allocates %.1f objects, budget %.0f", perQuery, budget)
+	}
+	if cl.CacheStats().Lookups == 0 {
+		t.Error("alloc measurement never consulted the cache")
+	}
+}
+
 // TestClusterParallelDomainsInvariant is the tentpole's acceptance bar at
 // the cluster layer: identical configs differing only in ParallelDomains
 // produce byte-identical node snapshots, identical latency sketches and

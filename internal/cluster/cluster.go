@@ -33,17 +33,10 @@ import (
 	"repro/internal/workload"
 )
 
-// popularityItems is the size of the query-popularity universe: each
-// arriving query is one of this many distinct "contents", drawn Zipf by
-// SkewExponent. Hash routing keys on the content, so popular contents
-// pin their load to one replica index; the content also rotates which
-// shard carries the query's heaviest work.
-const popularityItems = 64
-
 // Cluster is a running N-node deployment partitioned over 1+N event
-// domains: domain 0 is the front end (router, query log, merge), domain
-// 1+i is node i (its full hardware platform plus its network ingress and
-// egress).
+// domains: domain 0 is the front end (router, query log, merge, result
+// cache), domain 1+i is node i (its full hardware platform plus its
+// network ingress and egress).
 type Cluster struct {
 	me     *sim.MultiEngine
 	fe     *sim.Engine   // front-end domain
@@ -60,9 +53,17 @@ type Cluster struct {
 	allNodes    []int
 	replicaSets [][]int   // shard → candidate replica nodes, precomputed
 	needed      int       // shard responses that complete a query
-	popW        []float64 // cumulative popularity over popularityItems
+	popW        []float64 // cumulative popularity over cfg.ContentItems
 	shardW      []float64 // per-shard work weights (rotated per content)
 	netLat      sim.Time
+
+	// Front-end result cache + in-flight coalescing (nil/unused when
+	// cfg.CacheEntries == 0 — the query path is then byte-identical to a
+	// build without the cache).
+	cache     *feCache
+	co        *coalescer
+	hitLat    sim.Time // front-end serve latency of a cache hit
+	attachLat sim.Time // merge-to-completion latency of a coalesced query
 
 	// Precomputed qlog interval labels, so the per-query path formats
 	// nothing.
@@ -147,7 +148,7 @@ func New(cfg config.ClusterConfig, m workload.Model, qopt qtrace.Options) (*Clus
 		c.detShard = append(c.detShard, lbl)
 	}
 	// Cumulative popularity for content sampling.
-	w := workload.ZipfWeights(popularityItems, cfg.SkewExponent)
+	w := workload.ZipfWeights(cfg.ContentItems, cfg.SkewExponent)
 	c.popW = make([]float64, len(w))
 	var cum float64
 	for i, wi := range w {
@@ -155,6 +156,13 @@ func New(cfg config.ClusterConfig, m workload.Model, qopt qtrace.Options) (*Clus
 		c.popW[i] = cum
 	}
 	c.shardW = workload.ZipfWeights(cfg.Shards, cfg.SkewExponent)
+	if cfg.CacheEntries > 0 {
+		c.cache = newFECache(cfg.CacheEntries, sim.FromSeconds(cfg.CacheTTLMS*1e-3))
+		c.co = newCoalescer()
+		c.hitLat = sim.FromSeconds(cfg.CacheHitUS * 1e-6)
+		c.attachLat = sim.FromSeconds(cfg.CoalesceUS * 1e-6)
+		c.cache.registered = c.fe.Stats().Register("cluster.fe.cache", c.cache)
+	}
 	return c, nil
 }
 
@@ -177,6 +185,29 @@ func (c *Cluster) RouterStats() *Router { return c.router }
 
 // QLog exposes the cluster-level query log.
 func (c *Cluster) QLog() *qtrace.Log { return c.qlog }
+
+// CacheEnabled reports whether the front-end result cache is on.
+func (c *Cluster) CacheEnabled() bool { return c.cache != nil }
+
+// CacheStats snapshots the front-end cache and coalescing accounting
+// (zero value when the cache is disabled). The counters are atomics, so
+// live tooling may call this while the simulation runs.
+func (c *Cluster) CacheStats() CacheStats {
+	if c.cache == nil {
+		return CacheStats{}
+	}
+	return c.cache.stats()
+}
+
+// PeakPending reports the singleflight table's high-water mark: how many
+// distinct contents had scatters in flight at once (0 when the cache is
+// disabled). Read after the run drains.
+func (c *Cluster) PeakPending() int {
+	if c.co == nil {
+		return 0
+	}
+	return c.co.PeakPending()
+}
 
 // Completed reports how many queries have merged.
 func (c *Cluster) Completed() int { return c.completed }
@@ -272,15 +303,23 @@ func (c *Cluster) MeanBusyPct() float64 {
 // between the front end and the nodes, every cross-domain leg riding a
 // CrossLink or a latency-only export.
 const (
-	qArrive     uint64 = iota // FE: query hits the front end (arg>>qShift = qid)
-	qImageIn                  // home node: query image landed at ingress
-	qFeatures                 // home node: image transfer done, submit FE job
-	qFeatDone                 // FE: home's completion notice (logging + router credit)
-	qShardIn                  // replica node: feature vector landed at ingress
-	qShardStart               // replica node: ingress transfer done, submit shard job
-	qRespIn                   // FE: shard response landed at gather ingress
-	qResponse                 // FE: response transfer done, merge + logging
-	qShift      = 3
+	qArrive        uint64 = iota // FE: query hits the front end (arg>>qShift = qid)
+	qImageIn                     // home node: query image landed at ingress
+	qFeatures                    // home node: image transfer done, submit FE job
+	qFeatDone                    // FE: home's completion notice (logging + router credit)
+	qShardIn                     // replica node: feature vector landed at ingress
+	qShardStart                  // replica node: ingress transfer done, submit shard job
+	qRespIn                      // FE: shard response landed at gather ingress
+	qResponse                    // FE: response transfer done, merge + logging
+	qCacheServe                  // FE: cache hit completes (arg>>qShift = qid)
+	qCoalesceServe               // FE: coalesced query completes after its lead's merge
+	qShift         = 4
+)
+
+// Interval detail labels of the cache-served completions.
+const (
+	detCacheHit = "fe-cache"
+	detCoalesce = "fe-coalesce"
 )
 
 // query is one in-flight scatter-gather request; it is its own event
@@ -315,8 +354,8 @@ type query struct {
 }
 
 // getQuery pops a recycled query (or builds one) and initialises it for
-// query id. Front-end domain only.
-func (c *Cluster) getQuery(id int) *query {
+// query id carrying content. Front-end domain only.
+func (c *Cluster) getQuery(id, content int) *query {
 	var q *query
 	if n := len(c.qpool); n > 0 {
 		q = c.qpool[n-1]
@@ -332,20 +371,46 @@ func (c *Cluster) getQuery(id int) *query {
 		}
 	}
 	q.id = id
-	q.content = c.content(id)
+	q.content = content
 	return q
 }
 
-// Fire handles qArrive: the front end routes the query — the home node for
-// feature extraction and one replica per shard, all picked now, in
-// front-end event order, so the router's RNG state is consumed
-// deterministically regardless of how node domains interleave — and ships
-// the image to the home node.
+// Fire handles the front-end phases carrying a query id: arrival (cache
+// consultation + routing + scatter) and the two cache-served completions.
+// Everything here runs in the front-end domain in arrival/event order, so
+// the cache, the singleflight table and the router's RNG state evolve
+// deterministically regardless of how node domains interleave.
 func (c *Cluster) Fire(eng *sim.Engine, arg uint64) {
-	q := c.getQuery(int(arg >> qShift))
+	id := int(arg >> qShift)
 	now := eng.Now()
+	switch arg & (1<<qShift - 1) {
+	case qCacheServe:
+		c.serveCached(id, now, detCacheHit)
+		return
+	case qCoalesceServe:
+		c.serveCached(id, now, detCoalesce)
+		return
+	}
+	// qArrive.
+	content := c.content(id)
+	c.qlog.Submitted(id, id, now)
+	if c.cache != nil {
+		if hit, _ := c.cache.lookup(content, now); hit {
+			// Serve from the front-end tier: no routing, no scatter, the
+			// whole query is one cache lookup + response.
+			eng.AtCall(now+c.hitLat, c, uint64(id)<<qShift|qCacheServe)
+			return
+		}
+		if c.co.attach(content, id) {
+			// A scatter for this content is already in flight: attach to
+			// it and share its gathered result at merge time.
+			c.cache.coalesced.Add(1)
+			return
+		}
+		c.co.begin(content, id) // this query leads the scatter
+	}
+	q := c.getQuery(id, content)
 	q.arrival = now
-	c.qlog.Submitted(q.id, q.id, now)
 	q.home = c.router.Pick(uint64(q.content), c.allNodes)
 	for s := 0; s < c.cfg.Shards; s++ {
 		q.replica[s] = c.router.Pick(uint64(q.content), c.replicaSets[s])
@@ -353,6 +418,21 @@ func (c *Cluster) Fire(eng *sim.Engine, arg uint64) {
 	// Latency-only control export: the image bytes occupy the home's
 	// ingress link once they arrive in its domain.
 	eng.ExportAt(c.dom[q.home], now+c.netLat, q, qImageIn)
+}
+
+// serveCached completes query id from the front-end tier at time now: the
+// cache-hit (or coalesced-attach) interval covers arrival to completion,
+// then the query merges without ever having scattered.
+func (c *Cluster) serveCached(id int, now sim.Time, detail string) {
+	if q := c.qlog.Query(id); q != nil {
+		c.qlog.Add(id, qtrace.Interval{
+			Phase: qtrace.PhaseCacheHit, Stage: stageFE,
+			Detail: detail,
+			Start:  q.Arrival, End: now,
+		})
+	}
+	c.completed++
+	c.qlog.Completed(id, now)
 }
 
 // Fire advances the query's lifecycle (all phases after arrival).
@@ -439,6 +519,17 @@ func (q *query) Fire(eng *sim.Engine, arg uint64) {
 			q.merged = true
 			c.completed++
 			c.qlog.Completed(q.id, now)
+			if c.cache != nil {
+				// The merged result fills the cache, and every query that
+				// coalesced onto this scatter completes off it.
+				c.cache.fill(q.content, now)
+				if p := c.co.finish(q.content); p != nil {
+					for _, w := range p.waiters {
+						eng.AtCall(now+c.attachLat, c, uint64(w)<<qShift|qCoalesceServe)
+					}
+					c.co.release(p)
+				}
+			}
 		}
 		if q.responses == c.cfg.Shards {
 			c.qpool = append(c.qpool, q) // last response: recycle

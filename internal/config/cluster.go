@@ -49,6 +49,33 @@ type ClusterConfig struct {
 	// share of its work is much larger than the others'. 0 is uniform.
 	SkewExponent float64 `json:"skew_exponent"`
 
+	// ContentItems is the size of the query-popularity universe: each
+	// arriving query is one of this many distinct "contents", drawn Zipf by
+	// SkewExponent. Hash routing keys on the content, popular contents pin
+	// their load to one replica index, and the front-end result cache keys
+	// on it — so the ratio of ContentItems to CacheEntries sets the
+	// working-set-vs-capacity contest the cache sweep measures.
+	ContentItems int `json:"content_items"`
+
+	// CacheEntries is the capacity of the front-end result cache: an LRU
+	// over content keys consulted before every scatter. 0 disables the
+	// cache and the in-flight coalescing layer entirely — the query path is
+	// then byte-identical to a build without the cache.
+	CacheEntries int `json:"cache_entries,omitempty"`
+	// CacheTTLMS is the freshness TTL of a cached result in simulated
+	// milliseconds: an entry whose age has reached the TTL is expired (the
+	// boundary itself is stale) and the query scatters as a miss. Must be
+	// positive when CacheEntries > 0.
+	CacheTTLMS float64 `json:"cache_ttl_ms,omitempty"`
+	// CacheHitUS is the front-end latency in microseconds to serve a cache
+	// hit (lookup plus response assembly) — the whole latency of a hit
+	// query, since it never leaves the front-end tier.
+	CacheHitUS float64 `json:"cache_hit_us,omitempty"`
+	// CoalesceUS is the attach latency in microseconds for a coalesced
+	// query: a query arriving while a scatter for the same content is in
+	// flight completes this long after that scatter's merge.
+	CoalesceUS float64 `json:"coalesce_us,omitempty"`
+
 	// ParallelDomains is how many worker goroutines execute the cluster's
 	// event domains (one per node plus the front end) each synchronization
 	// round; 0 or 1 runs the partition serially. Purely a wall-clock knob:
@@ -76,6 +103,11 @@ func DefaultCluster() ClusterConfig {
 		RoutePolicy:     "p2c",
 		RouteSeed:       1,
 		SkewExponent:    1.0,
+		ContentItems:    64,
+		CacheEntries:    0, // cache off by default; the pinned goldens predate it
+		CacheTTLMS:      500,
+		CacheHitUS:      50,
+		CoalesceUS:      20,
 		ParallelDomains: 1,
 		Node:            Default().WithInstances(1, 2, 2),
 	}
@@ -162,6 +194,21 @@ func (c *ClusterConfig) Validate() error {
 	}
 	if c.SkewExponent < 0 {
 		return fmt.Errorf("cluster: skew_exponent must be non-negative, got %v", c.SkewExponent)
+	}
+	if c.ContentItems < 1 {
+		return fmt.Errorf("cluster: content_items must be >= 1, got %d", c.ContentItems)
+	}
+	if c.CacheEntries < 0 {
+		return fmt.Errorf("cluster: cache_entries must be non-negative, got %d", c.CacheEntries)
+	}
+	if c.CacheEntries > 0 && c.CacheTTLMS <= 0 {
+		return fmt.Errorf("cluster: cache_ttl_ms must be positive when the cache is enabled, got %v", c.CacheTTLMS)
+	}
+	if c.CacheHitUS < 0 {
+		return fmt.Errorf("cluster: cache_hit_us must be non-negative, got %v", c.CacheHitUS)
+	}
+	if c.CoalesceUS < 0 {
+		return fmt.Errorf("cluster: coalesce_us must be non-negative, got %v", c.CoalesceUS)
 	}
 	if err := c.Node.Validate(); err != nil {
 		return fmt.Errorf("cluster: node config: %w", err)

@@ -60,6 +60,22 @@ func TestClusterValidateNamesBadEntry(t *testing.T) {
 		{"bad net", func(c *ClusterConfig) {
 			c.NetGBps = 0
 		}, "net_gbps must be positive"},
+		{"no contents", func(c *ClusterConfig) {
+			c.ContentItems = 0
+		}, "content_items must be >= 1"},
+		{"negative cache", func(c *ClusterConfig) {
+			c.CacheEntries = -1
+		}, "cache_entries must be non-negative"},
+		{"cache without ttl", func(c *ClusterConfig) {
+			c.CacheEntries = 8
+			c.CacheTTLMS = 0
+		}, "cache_ttl_ms must be positive"},
+		{"negative hit latency", func(c *ClusterConfig) {
+			c.CacheHitUS = -1
+		}, "cache_hit_us must be non-negative"},
+		{"negative coalesce latency", func(c *ClusterConfig) {
+			c.CoalesceUS = -1
+		}, "coalesce_us must be non-negative"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

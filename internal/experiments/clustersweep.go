@@ -188,6 +188,18 @@ func ClusterRun(m workload.Model, cfg config.ClusterConfig, queries int, rate fl
 	t.AddRow("peak queue imbalance", report.F(cl.RouterStats().PeakImbalance(), 2))
 	t.AddRow("sim events", fmt.Sprintf("%d", cl.Multi().Executed()))
 	t.AddRow("sync rounds", fmt.Sprintf("%d", cl.Multi().Rounds()))
+	if cl.CacheEnabled() {
+		// Cache rows only when the cache is on, so the cache-off table —
+		// and the pinned smoke golden diffing it — is untouched.
+		cs := cl.CacheStats()
+		t.AddRow("cache hits / lookups", fmt.Sprintf("%d / %d", cs.Hits, cs.Lookups))
+		t.AddRow("cache hit rate %", report.F(100*cs.HitRate, 1))
+		t.AddRow("cache coalesced", fmt.Sprintf("%d", cs.Coalesced))
+		t.AddRow("cache expired", fmt.Sprintf("%d", cs.Expired))
+		t.AddRow("cache evictions", fmt.Sprintf("%d", cs.Evictions))
+		t.AddRow("cache mean serve age ms", report.F(cs.MeanServeAge.Milliseconds(), 2))
+		t.AddRow("peak in-flight contents", fmt.Sprintf("%d", cl.PeakPending()))
+	}
 	return cl, t, nil
 }
 

@@ -53,6 +53,23 @@ type Snapshot struct {
 	LookaheadUS         float64   `json:"lookahead_us,omitempty"`
 	DomainClocksUS      []float64 `json:"domain_clocks_us,omitempty"`
 	DomainMailboxDepths []int     `json:"domain_mailbox_depths,omitempty"`
+
+	// Cache, present when a cluster run with the front-end result cache
+	// enabled is observed, is the cache's live counters.
+	Cache *CacheCounters `json:"cluster_cache,omitempty"`
+}
+
+// CacheCounters is the front-end result cache's live accounting in a
+// progress snapshot — a decoupled mirror of cluster.CacheStats, so the
+// inspector does not depend on the cluster package.
+type CacheCounters struct {
+	Hits      uint64  `json:"hits"`
+	Misses    uint64  `json:"misses"`
+	Expired   uint64  `json:"expired"`
+	Coalesced uint64  `json:"coalesced"`
+	Evictions uint64  `json:"evictions"`
+	Lookups   uint64  `json:"lookups"`
+	HitRate   float64 `json:"hit_rate"`
 }
 
 // Server is the inspector. It implements qtrace.Observer, so wiring it as
@@ -68,6 +85,7 @@ type Server struct {
 	lastRun   string
 	resources []ResourceBusy
 	multi     *sim.MultiEngine
+	cache     func() CacheCounters
 }
 
 // New returns an inspector with empty counters. Call Start to serve.
@@ -111,6 +129,16 @@ func (s *Server) ObserveMulti(me *sim.MultiEngine) {
 	s.mu.Unlock()
 }
 
+// ObserveCache attaches a front-end cache counter source (the cluster's
+// CacheStats, adapted): snapshots thereafter include its live hit/miss/
+// coalesce accounting. The source must be safe to call while the
+// simulation runs — the cluster's counters are atomics.
+func (s *Server) ObserveCache(fn func() CacheCounters) {
+	s.mu.Lock()
+	s.cache = fn
+	s.mu.Unlock()
+}
+
 // Snapshot returns the current progress state.
 func (s *Server) Snapshot() Snapshot {
 	s.mu.Lock()
@@ -138,6 +166,10 @@ func (s *Server) Snapshot() Snapshot {
 			snap.DomainClocksUS = append(snap.DomainClocksUS, d.Clock.Microseconds())
 			snap.DomainMailboxDepths = append(snap.DomainMailboxDepths, d.Mailbox)
 		}
+	}
+	if s.cache != nil {
+		cc := s.cache()
+		snap.Cache = &cc
 	}
 	return snap
 }
@@ -189,6 +221,34 @@ func publishVars() {
 	expvar.Publish("sim_domain_mailbox_depths", expvar.Func(func() any {
 		snap, _ := snapshotActive()
 		return snap.DomainMailboxDepths
+	}))
+	expvar.Publish("cluster_cache_hits", expvar.Func(func() any {
+		snap, _ := snapshotActive()
+		if snap.Cache == nil {
+			return uint64(0)
+		}
+		return snap.Cache.Hits
+	}))
+	expvar.Publish("cluster_cache_lookups", expvar.Func(func() any {
+		snap, _ := snapshotActive()
+		if snap.Cache == nil {
+			return uint64(0)
+		}
+		return snap.Cache.Lookups
+	}))
+	expvar.Publish("cluster_cache_hit_rate", expvar.Func(func() any {
+		snap, _ := snapshotActive()
+		if snap.Cache == nil {
+			return float64(0)
+		}
+		return snap.Cache.HitRate
+	}))
+	expvar.Publish("cluster_cache_coalesced", expvar.Func(func() any {
+		snap, _ := snapshotActive()
+		if snap.Cache == nil {
+			return uint64(0)
+		}
+		return snap.Cache.Coalesced
 	}))
 }
 

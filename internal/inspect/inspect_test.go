@@ -190,6 +190,42 @@ func (c crossSender) Fire(e *sim.Engine, arg uint64) {
 	c.x.Send(c.dst, 64, multiNop{}, arg)
 }
 
+// TestObserveCache: after attaching a cache counter source, /progress
+// carries its live accounting and the cluster_cache_* expvars read
+// through it; without one the snapshot omits the block entirely.
+func TestObserveCache(t *testing.T) {
+	s := New()
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(get(t, "http://"+s.Addr()+"/progress")), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Cache != nil {
+		t.Fatalf("cache block present before ObserveCache: %+v", snap.Cache)
+	}
+
+	s.ObserveCache(func() CacheCounters {
+		return CacheCounters{Hits: 6, Misses: 2, Coalesced: 3, Lookups: 8, HitRate: 0.75}
+	})
+	if err := json.Unmarshal([]byte(get(t, "http://"+s.Addr()+"/progress")), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Cache == nil || snap.Cache.Hits != 6 || snap.Cache.Coalesced != 3 || snap.Cache.HitRate != 0.75 {
+		t.Fatalf("cache block = %+v, want the observed counters", snap.Cache)
+	}
+	vars := get(t, "http://"+s.Addr()+"/debug/vars")
+	for _, want := range []string{`"cluster_cache_hits": 6`, `"cluster_cache_lookups": 8`,
+		`"cluster_cache_coalesced": 3`, `"cluster_cache_hit_rate": 0.75`} {
+		if !strings.Contains(vars, want) {
+			t.Errorf("/debug/vars missing %q", want)
+		}
+	}
+}
+
 // TestProgressEmptyServer: a just-started inspector serves zeros, not NaNs
 // or errors.
 func TestProgressEmptyServer(t *testing.T) {

@@ -43,6 +43,11 @@ const (
 	// same spelling as the shared stream buffers ("onchip-nearmem"), which
 	// names the physical links crossed (AIMbus, PCIe, NoC, flash).
 	PhaseXfer = "xfer"
+	// PhaseCacheHit is a query served entirely by the cluster's front-end
+	// result cache — no scatter ever happened. Detail distinguishes a
+	// direct hit ("fe-cache") from a query coalesced onto an in-flight
+	// scatter for the same content ("fe-coalesce").
+	PhaseCacheHit = "cache-hit"
 )
 
 // Interval is one recorded slice of a query's timeline.

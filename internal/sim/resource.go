@@ -47,6 +47,11 @@ const (
 	KindQueue ResourceKind = "queue"
 	// KindWindow is an outstanding-operations limiter (Window).
 	KindWindow ResourceKind = "window"
+	// KindCache is a capacity-bounded lookup structure (the cluster's
+	// front-end result cache): Ops counts lookups, Stalls counts the ones
+	// that missed or found an expired entry, Occupancy/MaxOccupancy track
+	// resident entries and Utilization reports the hit rate.
+	KindCache ResourceKind = "cache"
 )
 
 // ResourceStats is the uniform per-resource statistics snapshot. Fields
