@@ -26,6 +26,12 @@
 #                      cache-off run must still match the committed
 #                      golden, and the race detector sweeps the cluster
 #                      package with its cache tests
+#   make cluster-obs-smoke — cluster observability check: the pinned run
+#                      with -metrics, -spans, -trace and -slo on at -pj 1
+#                      and -pj 8 must emit byte-identical reports and
+#                      artifacts, the trace JSON must parse, the straggler
+#                      and SLO tables must appear, and the obs-off report
+#                      must still match the committed golden
 
 GO ?= go
 SMOKE_DIR := metrics-smoke-out
@@ -33,8 +39,9 @@ QSMOKE_DIR := qtrace-smoke-out
 CSMOKE_DIR := cluster-smoke-out
 PSMOKE_DIR := cluster-par-smoke-out
 CACHESMOKE_DIR := cache-smoke-out
+OBSSMOKE_DIR := cluster-obs-smoke-out
 
-.PHONY: check fmt-check build vet test race bench bench-smoke metrics-smoke qtrace-smoke cluster-smoke cluster-par-smoke cache-smoke
+.PHONY: check fmt-check build vet test race bench bench-smoke metrics-smoke qtrace-smoke cluster-smoke cluster-par-smoke cache-smoke cluster-obs-smoke
 
 check: fmt-check build vet race
 
@@ -157,3 +164,26 @@ cache-smoke:
 	$(CACHESMOKE_DIR)/reachsim -exp cachesweep > $(CACHESMOKE_DIR)/cachesweep.txt
 	grep -q 'cache-off p99' $(CACHESMOKE_DIR)/cachesweep.txt
 	$(GO) test -race -run 'Cache' ./internal/cluster/ ./internal/experiments/ ./internal/inspect/
+
+# Cluster observability smoke: the pinned -cluster run with every sink on.
+# Domain parallelism must not move a byte of any artifact — the report
+# (summary + straggler attribution + SLO windows), the sampled time
+# series, or the Chrome trace. The trace must parse as JSON, the report
+# must carry the straggler and SLO headlines, and turning observability
+# off must reproduce the committed golden exactly.
+cluster-obs-smoke:
+	rm -rf $(OBSSMOKE_DIR) && mkdir -p $(OBSSMOKE_DIR)
+	$(GO) build -o $(OBSSMOKE_DIR)/reachsim ./cmd/reachsim
+	$(OBSSMOKE_DIR)/reachsim -cluster -pj 1 -metrics $(OBSSMOKE_DIR)/metrics-pj1.csv \
+		-spans -trace $(OBSSMOKE_DIR)/trace-pj1.json -slo 250 > $(OBSSMOKE_DIR)/report-pj1.txt
+	$(OBSSMOKE_DIR)/reachsim -cluster -pj 8 -metrics $(OBSSMOKE_DIR)/metrics-pj8.csv \
+		-spans -trace $(OBSSMOKE_DIR)/trace-pj8.json -slo 250 > $(OBSSMOKE_DIR)/report-pj8.txt
+	diff $(OBSSMOKE_DIR)/report-pj1.txt $(OBSSMOKE_DIR)/report-pj8.txt
+	diff $(OBSSMOKE_DIR)/metrics-pj1.csv $(OBSSMOKE_DIR)/metrics-pj8.csv
+	diff $(OBSSMOKE_DIR)/trace-pj1.json $(OBSSMOKE_DIR)/trace-pj8.json
+	grep -q 'Straggler attribution' $(OBSSMOKE_DIR)/report-pj1.txt
+	grep -q 'SLO windows' $(OBSSMOKE_DIR)/report-pj1.txt
+	$(OBSSMOKE_DIR)/reachsim -cluster > $(OBSSMOKE_DIR)/report-off.txt
+	diff cmd/reachsim/testdata/cluster_smoke.golden $(OBSSMOKE_DIR)/report-off.txt
+	CLUSTER_OBS_SMOKE_DIR=$$PWD/$(OBSSMOKE_DIR) $(GO) test \
+		-run 'TestClusterObsSmokeArtifacts|TestClusterObsArtifactsParallelInvariant|TestValidateFlagMatrix' -v ./cmd/reachsim/

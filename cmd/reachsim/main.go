@@ -13,6 +13,8 @@
 //	reachsim -cluster              # one 4-node cluster run, summary table
 //	reachsim -cluster -nodes 8 -route hash
 //	reachsim -cluster -cache 32    # same run with the front-end result cache on
+//	reachsim -cluster -metrics m.csv -trace t.json   # cluster time series + Chrome trace
+//	reachsim -cluster -slo 250     # rolling SLO windows against a 250 ms objective
 //	reachsim -exp all -http :8080  # live inspector while experiments run
 //	reachsim -list                 # list experiment ids
 package main
@@ -65,6 +67,42 @@ const (
 	clusterRunSeed    = 1
 )
 
+// defaultSLOWindowMS is the -slo-window default: wide enough that the
+// pinned 32-query run still fills several windows.
+const defaultSLOWindowMS = 250
+
+// validateFlags rejects combinations the selected mode would silently
+// ignore: every flag on the command line must do something. given holds
+// the names of flags that were explicitly set (flag.Visit order).
+func validateFlags(given map[string]bool) error {
+	if given["cluster"] {
+		// -cluster runs exactly one pinned deployment: the experiment
+		// selection, config and sweep-concurrency knobs have nothing to
+		// apply to (observability flags -metrics/-spans/-trace/-slo all do).
+		for _, f := range []string{"exp", "stats", "list", "config", "benchout", "j", "qtrace", "progress"} {
+			if given[f] {
+				return fmt.Errorf("-%s does nothing with -cluster; drop one of them", f)
+			}
+		}
+	} else {
+		for _, f := range []string{"nodes", "route", "cache", "cache-ttl", "slo", "slo-window"} {
+			if given[f] {
+				return fmt.Errorf("-%s requires -cluster", f)
+			}
+		}
+	}
+	if given["slo-window"] && !given["slo"] {
+		return fmt.Errorf("-slo-window requires -slo")
+	}
+	if given["cache-ttl"] && !given["cache"] {
+		return fmt.Errorf("-cache-ttl requires -cache")
+	}
+	if given["http-linger"] && !given["http"] {
+		return fmt.Errorf("-http-linger requires -http")
+	}
+	return nil
+}
+
 func main() {
 	var (
 		exp       = flag.String("exp", "all", "experiment id (see -list)")
@@ -90,8 +128,15 @@ func main() {
 		pjF       = flag.Int("pj", 0, "worker goroutines per cluster simulation's event domains (0 = config default, 1 = serial); output is byte-identical at any -pj")
 		cacheF    = flag.Int("cache", 0, "with -cluster, enable the front-end result cache with this many entries (0 = off, the default)")
 		cacheTTLF = flag.Float64("cache-ttl", 0, "with -cluster -cache, override the cache TTL in milliseconds (0 = config default, 500)")
+		sloF      = flag.Float64("slo", 0, "with -cluster, latency objective in milliseconds: track rolling sim-time windows of p50/p99/p999 and SLO burn, print the window table and serve it on -http (/progress, expvar)")
+		sloWinF   = flag.Float64("slo-window", defaultSLOWindowMS, "with -cluster -slo, rolling window width in milliseconds")
 	)
 	flag.Parse()
+	given := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { given[f.Name] = true })
+	if err := validateFlags(given); err != nil {
+		fatal(err)
+	}
 
 	mo := metrics.Options{Spans: *spans}
 	if *metricsIv > 0 {
@@ -125,6 +170,30 @@ func main() {
 		}()
 	}
 
+	if *clusterF {
+		co := clusterOptions{
+			nodes:       *nodesF,
+			route:       *routeF,
+			pj:          *pjF,
+			cache:       *cacheF,
+			cacheTTL:    *cacheTTLF,
+			csv:         *csvOut,
+			httpAddr:    *httpAddr,
+			httpWait:    *httpWait,
+			metricsPath: *metricsF,
+			tracePath:   *tracePath,
+			sloMs:       *sloF,
+			sloWindowMs: *sloWinF,
+		}
+		if *metricsF != "" || *spans || *metricsIv > 0 {
+			co.metrics = &mo
+		}
+		if err := runCluster(os.Stdout, co); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	if *stats {
 		run, err := experiments.RunPipeline(workload.DefaultModel(), experiments.ReACHMapping(), 4, 8)
 		if err != nil {
@@ -155,13 +224,6 @@ func main() {
 
 	if *list {
 		fmt.Print(listOutput())
-		return
-	}
-
-	if *clusterF {
-		if err := runCluster(os.Stdout, *nodesF, *routeF, *pjF, *cacheF, *cacheTTLF, *csvOut, *httpAddr, *httpWait); err != nil {
-			fatal(err)
-		}
 		return
 	}
 
@@ -237,58 +299,106 @@ func listOutput() string {
 	return b.String()
 }
 
+// clusterOptions are the -cluster path's knobs: the deployment overrides
+// and the observability sinks riding the run.
+type clusterOptions struct {
+	nodes    int
+	route    string
+	pj       int
+	cache    int
+	cacheTTL float64
+	csv      bool
+
+	httpAddr string
+	httpWait time.Duration
+
+	// metrics, when non-nil, attaches the barrier-driven cluster sampler
+	// (plus per-node GAM span logs when Spans is set) and enables straggler
+	// tracking, printing the per-merge attribution table after the summary.
+	metrics *metrics.Options
+	// metricsPath receives the sampled time series (CSV, or JSON Lines
+	// when the path ends in .jsonl, spans included).
+	metricsPath string
+	// tracePath receives a Chrome trace with one process group per node.
+	tracePath string
+	// sloMs > 0 tracks rolling sim-time windows of latency quantiles
+	// against this objective; sloWindowMs is the window width.
+	sloMs       float64
+	sloWindowMs float64
+}
+
 // runCluster is the -cluster path: one pinned scatter-gather deployment
 // (default cluster config; node count, routing policy, domain parallelism
 // and the front-end result cache overridable), its summary table on w.
 // With httpAddr set the run serves the live inspector, observing every
-// query completion, the per-domain clocks/mailboxes and cache counters
-// while the run executes, and the final registry. Output is byte-identical
-// at any pj.
-func runCluster(w io.Writer, nodes int, route string, pj, cacheEntries int, cacheTTL float64, csv bool, httpAddr string, httpWait time.Duration) error {
+// query completion, the per-domain clocks/mailboxes, cache counters and
+// SLO burn while the run executes, and the final registry. All output —
+// the tables and every artifact — is byte-identical at any pj.
+func runCluster(w io.Writer, o clusterOptions) error {
 	ccfg := config.DefaultCluster()
-	if nodes > 0 {
-		ccfg.Nodes = nodes
-		if ccfg.ShardMap == nil && ccfg.Replication > nodes {
-			ccfg.Replication = nodes
+	if o.nodes > 0 {
+		ccfg.Nodes = o.nodes
+		if ccfg.ShardMap == nil && ccfg.Replication > o.nodes {
+			ccfg.Replication = o.nodes
 		}
 	}
-	if route != "" {
-		ccfg.RoutePolicy = route
+	if o.route != "" {
+		ccfg.RoutePolicy = o.route
 	}
-	if pj > 0 {
-		ccfg.ParallelDomains = pj
+	if o.pj > 0 {
+		ccfg.ParallelDomains = o.pj
 	}
-	if cacheEntries > 0 {
-		ccfg.CacheEntries = cacheEntries
+	if o.cache > 0 {
+		ccfg.CacheEntries = o.cache
 	}
-	if cacheTTL > 0 {
-		ccfg.CacheTTLMS = cacheTTL
+	if o.cacheTTL > 0 {
+		ccfg.CacheTTLMS = o.cacheTTL
 	}
 	qo := qtrace.Options{}
 	var insp *inspect.Server
-	if httpAddr != "" {
+	if o.httpAddr != "" {
 		insp = inspect.New()
-		if err := insp.Start(httpAddr); err != nil {
+		if err := insp.Start(o.httpAddr); err != nil {
 			return err
 		}
 		defer insp.Close()
 		fmt.Fprintf(os.Stderr, "inspector listening on http://%s\n", insp.Addr())
 		qo.Observer = insp
 	}
-	var observe func(*cluster.Cluster)
-	if insp != nil {
-		observe = func(cl *cluster.Cluster) {
-			insp.ObserveMulti(cl.Multi())
-			if cl.CacheEnabled() {
-				insp.ObserveCache(func() inspect.CacheCounters {
-					cs := cl.CacheStats()
-					return inspect.CacheCounters{
-						Hits: cs.Hits, Misses: cs.Misses, Expired: cs.Expired,
-						Coalesced: cs.Coalesced, Evictions: cs.Evictions,
-						Lookups: cs.Lookups, HitRate: cs.HitRate,
-					}
-				})
+	var slo *inspect.SLOMonitor
+	if o.sloMs > 0 {
+		width := o.sloWindowMs
+		if width <= 0 {
+			width = defaultSLOWindowMS
+		}
+		slo = inspect.NewSLOMonitor(sim.FromSeconds(width/1e3), sim.FromSeconds(o.sloMs/1e3))
+		qo.Observer = qtrace.Tee(qo.Observer, slo)
+		if insp != nil {
+			insp.ObserveSLO(slo)
+		}
+	}
+	var rec *metrics.MultiRecorder
+	observe := func(cl *cluster.Cluster) {
+		if o.metrics != nil {
+			rec = metrics.AttachMulti(cl.Multi(), *o.metrics)
+			if o.metrics.Spans {
+				rec.Spans = cl.AttachSpans()
 			}
+			cl.EnableStragglers()
+		}
+		if insp == nil {
+			return
+		}
+		insp.ObserveMulti(cl.Multi())
+		if cl.CacheEnabled() {
+			insp.ObserveCache(func() inspect.CacheCounters {
+				cs := cl.CacheStats()
+				return inspect.CacheCounters{
+					Hits: cs.Hits, Misses: cs.Misses, Expired: cs.Expired,
+					Coalesced: cs.Coalesced, Evictions: cs.Evictions,
+					Lookups: cs.Lookups, HitRate: cs.HitRate,
+				}
+			})
 		}
 	}
 	cl, t, err := experiments.ClusterRun(workload.DefaultModel(), ccfg,
@@ -299,15 +409,76 @@ func runCluster(w io.Writer, nodes int, route string, pj, cacheEntries int, cach
 	if insp != nil {
 		insp.ObserveRun("cluster", cl.Engine().Stats())
 	}
-	if err := emit(t, w, csv); err != nil {
+	if err := emit(t, w, o.csv); err != nil {
 		return err
 	}
+	if o.metrics != nil {
+		if st := cluster.StragglerTable(cl.Stragglers()); st != nil {
+			if err := emit(st, w, o.csv); err != nil {
+				return err
+			}
+		}
+	}
+	if slo != nil {
+		if st := slo.Table(); st != nil {
+			if err := emit(st, w, o.csv); err != nil {
+				return err
+			}
+		}
+	}
+	if o.metricsPath != "" {
+		if err := writeClusterMetrics(o.metricsPath, rec); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "cluster metrics written to %s\n", o.metricsPath)
+	}
+	if o.tracePath != "" {
+		if err := writeClusterTrace(o.tracePath, ccfg.Nodes, cl, rec); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "trace written to %s (open in chrome://tracing or Perfetto)\n", o.tracePath)
+	}
 	fmt.Fprintf(os.Stderr, "cluster run complete: %d queries\n", cl.Completed())
-	if insp != nil && httpWait > 0 {
-		fmt.Fprintf(os.Stderr, "inspector lingering %s\n", httpWait)
-		time.Sleep(httpWait)
+	if insp != nil && o.httpWait > 0 {
+		fmt.Fprintf(os.Stderr, "inspector lingering %s\n", o.httpWait)
+		time.Sleep(o.httpWait)
 	}
 	return nil
+}
+
+// writeClusterMetrics dumps the barrier sampler's time series — per-node
+// resources, cluster links and the synthetic per-domain streams — to path
+// (CSV, or JSONL with merged spans when the path ends in .jsonl).
+func writeClusterMetrics(path string, rec *metrics.MultiRecorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".jsonl") {
+		return metrics.NewJSONLWriter(f).WriteMulti("cluster", rec)
+	}
+	cw := metrics.NewCSVWriter(f)
+	if err := cw.WriteRun("cluster", rec.Sampler); err != nil {
+		return err
+	}
+	return cw.Flush()
+}
+
+// writeClusterTrace renders the cluster run as a Chrome trace: one
+// process group per node (fe/shard/net lanes, counters, GAM spans when
+// recorded) plus the front-end process with its query and cache lanes.
+// rec may be nil when -metrics/-spans are off — the trace then carries
+// the query timelines alone.
+func writeClusterTrace(path string, nodes int, cl *cluster.Cluster, rec *metrics.MultiRecorder) error {
+	tl := trace.NewTimeline()
+	tl.AddCluster(nodes, cl.QLog(), rec)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return tl.WriteJSON(f)
 }
 
 // runAllOptions are the execution/output knobs of runAll, beyond what to
@@ -341,6 +512,14 @@ type obsEntry struct {
 	res *experiments.RunResult
 }
 
+// clusterObsEntry is one sampled cluster-sweep cell: cluster experiments
+// carry a barrier-driven MultiRecorder instead of a RunSpec result.
+type clusterObsEntry struct {
+	exp string
+	run string
+	rec *metrics.MultiRecorder
+}
+
 // runAll executes the experiments concurrently on a shared simulation pool
 // and emits their tables in id order. The pool bounds the total number of
 // in-flight simulations at -j across all experiments (every experiment's
@@ -352,6 +531,7 @@ func runAll(w io.Writer, ids []string, cfg config.SystemConfig, m workload.Model
 	start := time.Now()
 	secs := make([]float64, len(ids)) // each index written by exactly one worker
 	obs := make([][]obsEntry, len(ids))
+	cobs := make([][]clusterObsEntry, len(ids))
 	qobs := make([][]obsEntry, len(ids))
 	// The outer fan-out is unbounded: experiments only hold pool slots
 	// while leaf simulations run, so len(ids) goroutines cost nothing and
@@ -368,11 +548,15 @@ func runAll(w io.Writer, ids []string, cfg config.SystemConfig, m workload.Model
 				}))
 			}
 			if o.metrics != nil {
-				// The observe callback runs serially per experiment after
-				// its runs complete, so obs[i] needs no lock.
+				// The observe callbacks run serially per experiment after
+				// its runs complete, so obs[i]/cobs[i] need no lock.
 				opts = append(opts, experiments.WithMetrics(*o.metrics,
 					func(run string, res *experiments.RunResult) {
 						obs[i] = append(obs[i], obsEntry{exp: id, run: run, res: res})
+					}))
+				opts = append(opts, experiments.WithClusterObs(*o.metrics,
+					func(run string, rec *metrics.MultiRecorder, _ *cluster.Cluster) {
+						cobs[i] = append(cobs[i], clusterObsEntry{exp: id, run: run, rec: rec})
 					}))
 			}
 			if o.qtrace != nil {
@@ -401,7 +585,7 @@ func runAll(w io.Writer, ids []string, cfg config.SystemConfig, m workload.Model
 		}
 	}
 	if o.metricsPath != "" {
-		if err := writeMetrics(w, o.metricsPath, obs, o.csv); err != nil {
+		if err := writeMetrics(w, o.metricsPath, obs, cobs, o.csv); err != nil {
 			return err
 		}
 	}
@@ -420,9 +604,11 @@ func runAll(w io.Writer, ids []string, cfg config.SystemConfig, m workload.Model
 
 // writeMetrics dumps every sampled run's time series to path (CSV, or
 // JSONL when the path ends in .jsonl) and emits one bottleneck-attribution
-// table per run on w. Entries are ordered (experiment id order, spec
+// table per run on w. Cluster-sweep cells follow their experiment's
+// RunSpec entries, series only: a sweep cell has no single-engine phase
+// windows to attribute. Entries are ordered (experiment id order, spec
 // order), so output is identical for any -j.
-func writeMetrics(w io.Writer, path string, obs [][]obsEntry, csv bool) error {
+func writeMetrics(w io.Writer, path string, obs [][]obsEntry, cobs [][]clusterObsEntry, csv bool) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -432,7 +618,7 @@ func writeMetrics(w io.Writer, path string, obs [][]obsEntry, csv bool) error {
 	cw := metrics.NewCSVWriter(f)
 	jw := metrics.NewJSONLWriter(f)
 	sampled := 0
-	for _, entries := range obs {
+	for i, entries := range obs {
 		for _, e := range entries {
 			label := e.exp + "/" + e.run
 			if jsonl {
@@ -449,6 +635,21 @@ func writeMetrics(w io.Writer, path string, obs [][]obsEntry, csv bool) error {
 			if err := emit(t, w, csv); err != nil {
 				return err
 			}
+		}
+		if cobs == nil {
+			continue
+		}
+		for _, e := range cobs[i] {
+			label := e.exp + "/" + e.run
+			if jsonl {
+				err = jw.WriteMulti(label, e.rec)
+			} else {
+				err = cw.WriteRun(label, e.rec.Sampler)
+			}
+			if err != nil {
+				return err
+			}
+			sampled++
 		}
 	}
 	if !jsonl {
@@ -698,7 +899,7 @@ func writeTrace(path string, mo *metrics.Options, metricsPath string) error {
 		}
 		if metricsPath != "" {
 			if err := writeMetrics(os.Stdout, metricsPath,
-				[][]obsEntry{{{exp: "trace", run: spec.Name, res: run}}}, false); err != nil {
+				[][]obsEntry{{{exp: "trace", run: spec.Name, res: run}}}, nil, false); err != nil {
 				return err
 			}
 		}

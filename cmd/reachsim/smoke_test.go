@@ -248,7 +248,7 @@ func TestClusterRunGolden(t *testing.T) {
 		t.Fatal(err)
 	}
 	var got strings.Builder
-	if err := runCluster(&got, 0, "", 0, 0, 0, false, "", 0); err != nil {
+	if err := runCluster(&got, clusterOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	if got.String() != string(want) {
@@ -263,7 +263,7 @@ func TestClusterRunGolden(t *testing.T) {
 func TestClusterRunParallelInvariant(t *testing.T) {
 	render := func(pj int) string {
 		var out strings.Builder
-		if err := runCluster(&out, 0, "", pj, 0, 0, false, "", 0); err != nil {
+		if err := runCluster(&out, clusterOptions{pj: pj}); err != nil {
 			t.Fatalf("pj=%d: %v", pj, err)
 		}
 		return out.String()
@@ -284,7 +284,7 @@ func TestClusterRunParallelInvariant(t *testing.T) {
 func TestClusterRunCachedParallelInvariant(t *testing.T) {
 	render := func(pj int) string {
 		var out strings.Builder
-		if err := runCluster(&out, 0, "", pj, 32, 0, false, "", 0); err != nil {
+		if err := runCluster(&out, clusterOptions{pj: pj, cache: 32}); err != nil {
 			t.Fatalf("pj=%d: %v", pj, err)
 		}
 		return out.String()

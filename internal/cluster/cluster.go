@@ -28,6 +28,7 @@ import (
 	"repro/internal/accel"
 	"repro/internal/config"
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/qtrace"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -77,6 +78,12 @@ type Cluster struct {
 	submitted int
 	completed int
 	qpool     []*query // recycled query objects (scatter/merge state)
+
+	// Straggler attribution (EnableStragglers): one record per merged
+	// scatter, written in the front-end domain at merge time. Off by
+	// default so the bare run stores nothing.
+	trackStragglers bool
+	stragglers      []StragglerRecord
 
 	// Node domains report build/submit failures here.
 	errMu sync.Mutex
@@ -208,6 +215,30 @@ func (c *Cluster) PeakPending() int {
 	}
 	return c.co.PeakPending()
 }
+
+// AttachSpans creates one GAM decision-span log per node and attaches
+// them. Each log is appended to only by its owning node's event domain,
+// so recording needs no synchronization; merge them for export with
+// metrics.MergeSpans. Call before Run.
+func (c *Cluster) AttachSpans() []*metrics.SpanLog {
+	logs := make([]*metrics.SpanLog, len(c.nodes))
+	for i, n := range c.nodes {
+		logs[i] = metrics.NewSpanLog()
+		n.GAM().SetSpanLog(logs[i])
+	}
+	return logs
+}
+
+// EnableStragglers turns on per-merge straggler attribution: every
+// scattered query records which shard leg completed its merge and where
+// that leg's time went. Off by default — the bare run stores nothing.
+// Call before Run.
+func (c *Cluster) EnableStragglers() { c.trackStragglers = true }
+
+// Stragglers returns the per-query straggler records in merge order
+// (empty unless EnableStragglers was called). The slice is the
+// cluster's own; callers must not mutate it.
+func (c *Cluster) Stragglers() []StragglerRecord { return c.stragglers }
 
 // Completed reports how many queries have merged.
 func (c *Cluster) Completed() int { return c.completed }
@@ -341,13 +372,23 @@ type query struct {
 	home    int
 	replica []int
 
-	arrival sim.Time
-	imgEnd  sim.Time
-	feStart sim.Time
-	feEnd   sim.Time
+	arrival    sim.Time
+	imgEnd     sim.Time
+	feStart    sim.Time
+	feDispatch sim.Time // FE job's first task dispatch (feStart→feDispatch is queue wait)
+	feEnd      sim.Time
 
-	shardExecStart []sim.Time
+	shardExecStart []sim.Time // shard job submitted on the replica
+	shardDispatch  []sim.Time // shard job's first task dispatch (queue wait ends)
 	shardExecEnd   []sim.Time
+
+	// Critical-path decomposition of shard s's replica job (scheduling
+	// queue wait, device time, intra-node DMA) written by the replica's
+	// domain at completion — see core.Job.CriticalPath. Only filled when
+	// straggler tracking is on.
+	shardQueue []sim.Time
+	shardExec  []sim.Time
+	shardXfer  []sim.Time
 
 	responses int
 	merged    bool
@@ -367,7 +408,11 @@ func (c *Cluster) getQuery(id, content int) *query {
 			c:              c,
 			replica:        make([]int, c.cfg.Shards),
 			shardExecStart: make([]sim.Time, c.cfg.Shards),
+			shardDispatch:  make([]sim.Time, c.cfg.Shards),
 			shardExecEnd:   make([]sim.Time, c.cfg.Shards),
+			shardQueue:     make([]sim.Time, c.cfg.Shards),
+			shardExec:      make([]sim.Time, c.cfg.Shards),
+			shardXfer:      make([]sim.Time, c.cfg.Shards),
 		}
 	}
 	q.id = id
@@ -452,7 +497,7 @@ func (q *query) Fire(eng *sim.Engine, arg uint64) {
 			c.fail(err)
 			return
 		}
-		j.OnDone(func(*core.Job) { q.featDone() })
+		j.OnDone(func(jj *core.Job) { q.featDone(jj) })
 		if err := c.nodes[q.home].GAM().Submit(j); err != nil {
 			c.fail(err)
 		}
@@ -471,7 +516,7 @@ func (q *query) Fire(eng *sim.Engine, arg uint64) {
 			return
 		}
 		s := shard
-		j.OnDone(func(*core.Job) { q.shardDone(s) })
+		j.OnDone(func(jj *core.Job) { q.shardDone(s, jj) })
 		if err := c.nodes[node].GAM().Submit(j); err != nil {
 			c.fail(err)
 		}
@@ -483,10 +528,17 @@ func (q *query) Fire(eng *sim.Engine, arg uint64) {
 			Detail: c.detImg[q.home],
 			Start:  q.arrival, End: q.imgEnd,
 		})
+		if q.feDispatch > q.feStart {
+			c.qlog.Add(q.id, qtrace.Interval{
+				Phase: qtrace.PhaseQueue, Stage: stageFE, Level: "onchip",
+				Detail: c.detExec[q.home],
+				Start:  q.feStart, End: q.feDispatch,
+			})
+		}
 		c.qlog.Add(q.id, qtrace.Interval{
 			Phase: qtrace.PhaseExec, Stage: stageFE, Level: "onchip",
 			Detail: c.detExec[q.home],
-			Start:  q.feStart, End: q.feEnd,
+			Start:  q.feDispatch, End: q.feEnd,
 		})
 
 	case qRespIn: // front-end domain
@@ -504,10 +556,17 @@ func (q *query) Fire(eng *sim.Engine, arg uint64) {
 				Start:  q.feEnd, End: q.shardExecStart[shard],
 			})
 		}
+		if q.shardDispatch[shard] > q.shardExecStart[shard] {
+			c.qlog.Add(q.id, qtrace.Interval{
+				Phase: qtrace.PhaseQueue, Stage: stageRR, Level: "nearmem+nearstor",
+				Detail: c.detShard[shard][node],
+				Start:  q.shardExecStart[shard], End: q.shardDispatch[shard],
+			})
+		}
 		c.qlog.Add(q.id, qtrace.Interval{
 			Phase: qtrace.PhaseExec, Stage: stageRR, Level: "nearmem+nearstor",
 			Detail: c.detShard[shard][node],
-			Start:  q.shardExecStart[shard], End: q.shardExecEnd[shard],
+			Start:  q.shardDispatch[shard], End: q.shardExecEnd[shard],
 		})
 		c.qlog.Add(q.id, qtrace.Interval{
 			Phase: qtrace.PhaseXfer, Stage: stageRR,
@@ -518,6 +577,9 @@ func (q *query) Fire(eng *sim.Engine, arg uint64) {
 		if !q.merged && q.responses >= c.needed {
 			q.merged = true
 			c.completed++
+			if c.trackStragglers {
+				c.recordStraggler(q, shard, now)
+			}
 			c.qlog.Completed(q.id, now)
 			if c.cache != nil {
 				// The merged result fills the cache, and every query that
@@ -541,10 +603,11 @@ func (q *query) Fire(eng *sim.Engine, arg uint64) {
 // front end (latency-only control message, off the critical path) and fan
 // the feature vector out to one replica per shard — co-located shards skip
 // the wire entirely, remote ones ride the home's egress CrossLink.
-func (q *query) featDone() {
+func (q *query) featDone(j *core.Job) {
 	c := q.c
 	home := c.dom[q.home]
 	now := home.Now()
+	q.feDispatch, _ = j.FirstDispatch()
 	q.feEnd = now
 	home.ExportAt(c.fe, now+c.netLat, q, qFeatDone)
 	featBytes := c.model.BatchFeatureBytes()
@@ -561,11 +624,15 @@ func (q *query) featDone() {
 // shardDone runs at a shard job's completion in its replica's domain: send
 // the shard's rerank results back to the front end for the merge. The
 // gather always crosses the wire — the front end is its own tier.
-func (q *query) shardDone(shard int) {
+func (q *query) shardDone(shard int, j *core.Job) {
 	c := q.c
 	node := q.replica[shard]
 	d := c.dom[node]
+	q.shardDispatch[shard], _ = j.FirstDispatch()
 	q.shardExecEnd[shard] = d.Now()
+	if c.trackStragglers {
+		q.shardQueue[shard], q.shardExec[shard], q.shardXfer[shard] = j.CriticalPath()
+	}
 	respBytes := scaleBytes(c.model.ResultBytesPerBatch(), c.shardFrac(q.content, shard))
 	c.out[node].Send(c.fe, respBytes, q, uint64(shard)<<qShift|qRespIn)
 }

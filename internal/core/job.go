@@ -154,6 +154,73 @@ func (j *Job) Latency() sim.Time {
 	return j.FinishedAt - j.SubmittedAt
 }
 
+// FirstDispatch reports the earliest task dispatch of the job — the
+// instant it left the GAM's scheduling queues and first touched
+// hardware. The gap from SubmittedAt is pure queue wait, which is what
+// the cluster's straggler attribution charges to "queue". Returns
+// (0, false) while no task has been dispatched yet.
+func (j *Job) FirstDispatch() (sim.Time, bool) {
+	var first sim.Time
+	seen := false
+	for _, n := range j.Nodes {
+		if n.state != NodeRunning && n.state != NodeDone {
+			continue
+		}
+		if !seen || n.DispatchedAt < first {
+			first = n.DispatchedAt
+			seen = true
+		}
+	}
+	return first, seen
+}
+
+// CriticalPath decomposes the finished job's latency along the chain of
+// task nodes that determined its finish time: starting from the
+// last-detected node and walking back through each node's last-finishing
+// dependency. Per chain node, ready-to-dispatch time is charged to queue
+// and dispatch-to-detection to exec; everything between segments
+// (dependency DMA, the terminal host collect) lands in xfer. The three
+// always tile the job exactly: queue+exec+xfer == Latency(). This is the
+// honest queue-wait metric for multi-task jobs — FirstDispatch misses
+// contention on every node after the first, which under saturation is
+// where almost all of the waiting happens. Zero-valued before completion.
+func (j *Job) CriticalPath() (queue, exec, xfer sim.Time) {
+	if !j.done {
+		return
+	}
+	var n *TaskNode
+	for _, c := range j.Nodes {
+		if n == nil || c.DetectedAt > n.DetectedAt {
+			n = c
+		}
+	}
+	end := j.FinishedAt
+	for n != nil {
+		xfer += end - n.DetectedAt
+		queue += n.DispatchedAt - n.ReadyAt
+		exec += n.DetectedAt - n.DispatchedAt
+		end = n.ReadyAt
+		// The chain predecessor is the dependency detected last — the one
+		// whose output delivery released this node into the ready queue.
+		var pred *TaskNode
+		for _, c := range j.Nodes {
+			if c == n {
+				continue
+			}
+			for _, d := range c.dependents {
+				if d == n && (pred == nil || c.DetectedAt > pred.DetectedAt) {
+					pred = c
+				}
+			}
+		}
+		if pred == nil {
+			xfer += end - j.SubmittedAt
+		}
+		n = pred
+	}
+	return
+}
+
 // OnDone registers a completion callback (fired at finish time).
 func (j *Job) OnDone(fn func(*Job)) { j.onDone = fn }
 

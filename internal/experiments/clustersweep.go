@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/config"
+	"repro/internal/metrics"
 	"repro/internal/qtrace"
 	"repro/internal/report"
 	"repro/internal/sim"
@@ -70,6 +71,45 @@ func DefaultClusterNodeCounts() []int { return []int{2, 4} }
 // DefaultClusterRates approaches hot-replica saturation at 4 nodes.
 func DefaultClusterRates() []float64 { return []float64{5, 10, 20} }
 
+// ClusterObserver receives one observed cluster cell after its run
+// drains: the run label, the barrier-driven recorder (sampler series plus
+// per-node span logs when enabled) and the drained cluster itself.
+type ClusterObserver func(run string, rec *metrics.MultiRecorder, cl *cluster.Cluster)
+
+// WithClusterObs attaches a barrier-driven metrics.MultiSampler to every
+// cluster simulation of the experiment — and, when mo.Spans is set, the
+// per-node GAM span logs — then reports each cell through observe after
+// all cells complete, in cell declaration order (deterministic regardless
+// of worker count). This is the cluster counterpart of WithMetrics, which
+// only covers RunSpec-based experiments: sweep cells own a MultiEngine,
+// not an Engine, so they need the barrier-observer attachment instead of
+// the event-loop sampler. Experiments without a cluster ignore it.
+func WithClusterObs(mo metrics.Options, observe ClusterObserver) Option {
+	return func(o *runOptions) {
+		o.clusterObs = &mo
+		o.clObserve = observe
+	}
+}
+
+// observedCell pairs one sweep cell's recorder with its cluster for the
+// post-sweep ClusterObserver callbacks.
+type observedCell struct {
+	rec *metrics.MultiRecorder
+	cl  *cluster.Cluster
+}
+
+// attachClusterObs wires the configured observability onto one cluster.
+func (o *runOptions) attachClusterObs(cl *cluster.Cluster) *metrics.MultiRecorder {
+	if o.clusterObs == nil {
+		return nil
+	}
+	rec := metrics.AttachMulti(cl.Multi(), *o.clusterObs)
+	if o.clusterObs.Spans {
+		rec.Spans = cl.AttachSpans()
+	}
+	return rec
+}
+
 // clusterCell is one unit of sweep work.
 type clusterCell struct {
 	nodes  int
@@ -101,6 +141,10 @@ func ClusterSweep(m workload.Model, cfg config.ClusterConfig, nodeCounts []int, 
 		return fmt.Sprintf("clustersweep %dn %s %.0f q/s", c.nodes, c.policy, c.rate)
 	}
 	arr := ArrivalSpec{Process: ArrivalPoisson, Seed: seed}
+	var observed []observedCell
+	if o.clusterObs != nil {
+		observed = make([]observedCell, len(cells))
+	}
 	points, err := mapRuns(o, cells, name, func(cell clusterCell) (*ClusterPoint, error) {
 		ccfg := cfg
 		ccfg.Nodes = cell.nodes
@@ -114,6 +158,11 @@ func ClusterSweep(m workload.Model, cfg config.ClusterConfig, nodeCounts []int, 
 		cl, err := cluster.New(ccfg, m, qtrace.Options{DropTimelines: true})
 		if err != nil {
 			return nil, err
+		}
+		if rec := o.attachClusterObs(cl); rec != nil {
+			// cell.stream is the cell's declaration index: each worker
+			// writes its own slot, the callbacks below replay in order.
+			observed[cell.stream] = observedCell{rec: rec, cl: cl}
 		}
 		at := arr.schedule(cell.rate, queries, cell.stream)
 		for q := 0; q < queries; q++ {
@@ -144,6 +193,13 @@ func ClusterSweep(m workload.Model, cfg config.ClusterConfig, nodeCounts []int, 
 	})
 	if err != nil {
 		return nil, err
+	}
+	if o.clObserve != nil {
+		for i := range cells {
+			if observed[i].cl != nil {
+				o.clObserve(name(i), observed[i].rec, observed[i].cl)
+			}
+		}
 	}
 	return &ClusterSweepResult{Points: points}, nil
 }

@@ -234,6 +234,10 @@ type runOptions struct {
 	// clusterPJ >= 0 overrides ClusterConfig.ParallelDomains for cluster
 	// experiments (-1 leaves the config's own value in force).
 	clusterPJ int
+	// clusterObs/clObserve attach barrier-driven observability to cluster
+	// experiments (see WithClusterObs in clustersweep.go).
+	clusterObs *metrics.Options
+	clObserve  ClusterObserver
 }
 
 // Option adjusts how an experiment executes its runs (not what it

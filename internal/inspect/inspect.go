@@ -57,6 +57,10 @@ type Snapshot struct {
 	// Cache, present when a cluster run with the front-end result cache
 	// enabled is observed, is the cache's live counters.
 	Cache *CacheCounters `json:"cluster_cache,omitempty"`
+
+	// SLO, present when a windowed SLO monitor is observed, carries the
+	// rolling sim-time window quantiles and the burn counters.
+	SLO *SLOStats `json:"slo,omitempty"`
 }
 
 // CacheCounters is the front-end result cache's live accounting in a
@@ -86,6 +90,7 @@ type Server struct {
 	resources []ResourceBusy
 	multi     *sim.MultiEngine
 	cache     func() CacheCounters
+	slo       *SLOMonitor
 }
 
 // New returns an inspector with empty counters. Call Start to serve.
@@ -139,6 +144,15 @@ func (s *Server) ObserveCache(fn func() CacheCounters) {
 	s.mu.Unlock()
 }
 
+// ObserveSLO attaches a windowed SLO monitor: snapshots thereafter
+// include its window quantiles and burn counters. The monitor carries its
+// own mutex, so scraping while the simulation runs is race-free.
+func (s *Server) ObserveSLO(m *SLOMonitor) {
+	s.mu.Lock()
+	s.slo = m
+	s.mu.Unlock()
+}
+
 // Snapshot returns the current progress state.
 func (s *Server) Snapshot() Snapshot {
 	s.mu.Lock()
@@ -170,6 +184,10 @@ func (s *Server) Snapshot() Snapshot {
 	if s.cache != nil {
 		cc := s.cache()
 		snap.Cache = &cc
+	}
+	if s.slo != nil {
+		st := s.slo.Stats() // its own mutex
+		snap.SLO = &st
 	}
 	return snap
 }
@@ -249,6 +267,27 @@ func publishVars() {
 			return uint64(0)
 		}
 		return snap.Cache.Coalesced
+	}))
+	expvar.Publish("slo_breaches_total", expvar.Func(func() any {
+		snap, _ := snapshotActive()
+		if snap.SLO == nil {
+			return uint64(0)
+		}
+		return snap.SLO.Breaches
+	}))
+	expvar.Publish("slo_burn_pct", expvar.Func(func() any {
+		snap, _ := snapshotActive()
+		if snap.SLO == nil {
+			return float64(0)
+		}
+		return snap.SLO.BurnPct
+	}))
+	expvar.Publish("slo_window_p99_ms", expvar.Func(func() any {
+		snap, _ := snapshotActive()
+		if snap.SLO == nil || len(snap.SLO.Windows) == 0 {
+			return float64(0)
+		}
+		return snap.SLO.Windows[len(snap.SLO.Windows)-1].P99Ms
 	}))
 }
 

@@ -1,0 +1,181 @@
+package inspect
+
+import (
+	"sync"
+
+	"repro/internal/qtrace"
+	"repro/internal/report"
+	"repro/internal/sim"
+)
+
+// maxSLOWindows bounds retained window state: a monitor on an unbounded
+// sweep drops its oldest windows past this count (the cumulative breach
+// counters are unaffected — only per-window quantiles age out).
+const maxSLOWindows = 1024
+
+// SLOMonitor tracks query latency against an objective over rolling
+// sim-time windows: each completion (delivered through qtrace's ObserverAt
+// hook, so windows are keyed by *simulated* completion time, not wall
+// clock) folds into its window's latency sketch and, when it exceeds the
+// objective, the window's and the run's burn counters. Windowing by sim
+// time makes the output deterministic: the same run produces the same
+// window table at any -pj or worker count.
+//
+// The monitor is mutex-protected — completions arrive from simulation
+// worker goroutines while HTTP scrapes read snapshots.
+type SLOMonitor struct {
+	mu        sync.Mutex
+	width     sim.Time
+	objective sim.Time
+	windows   []*sloWindow
+	base      int // window index of windows[0]
+	queries   uint64
+	breaches  uint64
+}
+
+type sloWindow struct {
+	start    sim.Time
+	count    int
+	breaches int
+	sketch   *qtrace.Sketch
+}
+
+// NewSLOMonitor creates a monitor with the given window width and latency
+// objective (both must be positive).
+func NewSLOMonitor(width, objective sim.Time) *SLOMonitor {
+	if width <= 0 || objective <= 0 {
+		panic("inspect: SLO window and objective must be positive")
+	}
+	return &SLOMonitor{width: width, objective: objective}
+}
+
+// QueryDone implements qtrace.Observer. The monitor needs completion
+// instants, which arrive through QueryDoneAt; the plain hook is a no-op so
+// the monitor composes with other observers under qtrace.Tee.
+func (m *SLOMonitor) QueryDone(int, sim.Time) {}
+
+// QueryDoneAt implements qtrace.ObserverAt: fold one completion into the
+// window covering its simulated completion instant.
+func (m *SLOMonitor) QueryDoneAt(_ int, at, latency sim.Time) {
+	idx := int(at / m.width)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.windows == nil {
+		m.base = idx
+	}
+	for idx-m.base >= len(m.windows) {
+		m.windows = append(m.windows, nil)
+	}
+	if idx < m.base {
+		// A completion before the retained horizon (only possible across
+		// re-runs onto one monitor): count it, quantiles age out.
+		m.queries++
+		if latency > m.objective {
+			m.breaches++
+		}
+		return
+	}
+	if len(m.windows) > maxSLOWindows {
+		drop := len(m.windows) - maxSLOWindows
+		m.windows = append(m.windows[:0], m.windows[drop:]...)
+		m.base += drop
+	}
+	w := m.windows[idx-m.base]
+	if w == nil {
+		w = &sloWindow{start: sim.Time(idx) * m.width, sketch: qtrace.NewSketch(0)}
+		m.windows[idx-m.base] = w
+	}
+	w.count++
+	w.sketch.Add(latency)
+	m.queries++
+	if latency > m.objective {
+		w.breaches++
+		m.breaches++
+	}
+}
+
+// SLOWindowStat is one window's summary in a snapshot.
+type SLOWindowStat struct {
+	StartMs  float64 `json:"start_ms"`
+	Queries  int     `json:"queries"`
+	P50Ms    float64 `json:"p50_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+	P999Ms   float64 `json:"p999_ms"`
+	Breaches int     `json:"breaches"`
+}
+
+// SLOStats is the monitor's snapshot shape (served under /progress and
+// expvar).
+type SLOStats struct {
+	ObjectiveMs float64         `json:"objective_ms"`
+	WindowMs    float64         `json:"window_ms"`
+	Queries     uint64          `json:"queries"`
+	Breaches    uint64          `json:"breaches"`
+	BurnPct     float64         `json:"burn_pct"`
+	Windows     []SLOWindowStat `json:"windows,omitempty"`
+}
+
+// Stats snapshots the monitor: cumulative burn plus per-window quantiles
+// in window order (empty windows are skipped).
+func (m *SLOMonitor) Stats() SLOStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := SLOStats{
+		ObjectiveMs: m.objective.Milliseconds(),
+		WindowMs:    m.width.Milliseconds(),
+		Queries:     m.queries,
+		Breaches:    m.breaches,
+	}
+	if m.queries > 0 {
+		st.BurnPct = 100 * float64(m.breaches) / float64(m.queries)
+	}
+	for _, w := range m.windows {
+		if w == nil || w.count == 0 {
+			continue
+		}
+		st.Windows = append(st.Windows, SLOWindowStat{
+			StartMs:  w.start.Milliseconds(),
+			Queries:  w.count,
+			P50Ms:    w.sketch.Quantile(0.5).Milliseconds(),
+			P99Ms:    w.sketch.Quantile(0.99).Milliseconds(),
+			P999Ms:   w.sketch.Quantile(0.999).Milliseconds(),
+			Breaches: w.breaches,
+		})
+	}
+	return st
+}
+
+// Table renders the end-of-run SLO report: one row per non-empty window
+// with its quantiles and burn, plus cumulative footnotes. Returns nil when
+// no query completed.
+func (m *SLOMonitor) Table() *report.Table {
+	st := m.Stats()
+	if st.Queries == 0 {
+		return nil
+	}
+	t := &report.Table{
+		Title: "SLO windows — rolling sim-time latency quantiles vs objective",
+		Columns: []string{
+			"window start ms", "queries", "p50 ms", "p99 ms", "p999 ms",
+			"breaches", "burn %",
+		},
+	}
+	for _, w := range st.Windows {
+		burn := 0.0
+		if w.Queries > 0 {
+			burn = 100 * float64(w.Breaches) / float64(w.Queries)
+		}
+		t.AddRow(
+			report.F(w.StartMs, 3),
+			report.F(float64(w.Queries), 0),
+			report.F(w.P50Ms, 3),
+			report.F(w.P99Ms, 3),
+			report.F(w.P999Ms, 3),
+			report.F(float64(w.Breaches), 0),
+			report.F(burn, 1),
+		)
+	}
+	t.AddNote("objective %.3f ms, window %.3f ms", st.ObjectiveMs, st.WindowMs)
+	t.AddNote("%d queries, %d breaches (%.2f%% burn)", st.Queries, st.Breaches, st.BurnPct)
+	return t
+}

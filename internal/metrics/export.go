@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+
+	"repro/internal/sim"
 )
 
 // csvHeader is the stable schema of the time-series CSV dump. The
@@ -17,6 +19,16 @@ var csvHeader = []string{
 // CSVHeader returns a copy of the CSV schema (for validators).
 func CSVHeader() []string {
 	return append([]string(nil), csvHeader...)
+}
+
+// Source is the sampler side of the exporters: a recorded time axis plus
+// per-resource series in deterministic (sorted) order. Both the
+// single-engine Sampler and the cluster MultiSampler satisfy it, so one
+// CSV/JSONL/trace-counter pipeline serves both.
+type Source interface {
+	Samples() int
+	Time(i int) sim.Time
+	Series() []*Series
 }
 
 // CSVWriter streams one or more runs' sampler series as CSV: one row per
@@ -34,7 +46,7 @@ func NewCSVWriter(w io.Writer) *CSVWriter {
 
 // WriteRun appends every sample of one run, labelled run in the first
 // column. The header is written once, before the first row.
-func (c *CSVWriter) WriteRun(run string, s *Sampler) error {
+func (c *CSVWriter) WriteRun(run string, s Source) error {
 	if !c.wroteHeader {
 		if err := c.cw.Write(csvHeader); err != nil {
 			return err
@@ -122,7 +134,23 @@ func NewJSONLWriter(w io.Writer) *JSONLWriter {
 
 // WriteRun appends one run's samples and spans, labelled run.
 func (j *JSONLWriter) WriteRun(run string, r *Recorder) error {
-	s := r.Sampler
+	if err := j.WriteSamples(run, r.Sampler); err != nil {
+		return err
+	}
+	return j.WriteSpans(run, r.Spans.Spans())
+}
+
+// WriteMulti appends one cluster run's samples and merged per-node
+// spans, labelled run.
+func (j *JSONLWriter) WriteMulti(run string, r *MultiRecorder) error {
+	if err := j.WriteSamples(run, r.Sampler); err != nil {
+		return err
+	}
+	return j.WriteSpans(run, r.MergedSpans())
+}
+
+// WriteSamples appends every {"type":"sample"} line of one source.
+func (j *JSONLWriter) WriteSamples(run string, s Source) error {
 	series := s.Series()
 	for i := 0; i < s.Samples(); i++ {
 		t := s.Time(i)
@@ -144,7 +172,13 @@ func (j *JSONLWriter) WriteRun(run string, r *Recorder) error {
 			}
 		}
 	}
-	for _, sp := range r.Spans.Spans() {
+	return nil
+}
+
+// WriteSpans appends every {"type":"span"} line for spans (already in
+// the caller's deterministic order).
+func (j *JSONLWriter) WriteSpans(run string, spans []Span) error {
+	for _, sp := range spans {
 		err := j.enc.Encode(jsonSpan{
 			Run: run, Type: "span", Cat: sp.Cat, Name: sp.Name, Lane: sp.Lane,
 			Cause: sp.Cause, StartUS: sp.Start.Microseconds(),

@@ -12,6 +12,12 @@
 // chunks and the registry walk is cached between registrations (see
 // TestSamplerZeroAllocSteadyState).
 //
+// Partitioned (cluster) simulations use MultiSampler instead: the same
+// columnar series, but driven off the MultiEngine's barriers rather than
+// calendar events, so sampling can never perturb the deterministic round
+// structure. AttachMulti installs it; per-node span logs merge back into
+// one stable order with MergeSpans.
+//
 // Exporters live next to the consumers: trace.AddCounters/AddSpans merge
 // the series into the Chrome trace timeline as "C" counter lanes,
 // CSVWriter/JSONLWriter dump the raw time series, and Attribute reduces a

@@ -78,6 +78,48 @@ func (s *Series) At(i int) Point {
 	}
 }
 
+// seriesSet is the shared per-resource series store of the two samplers
+// (single-engine Sampler, barrier-driven MultiSampler): a map for lookup,
+// first-seen order for iteration, and the global sample counter that
+// anchors Series.Start for resources registering mid-run.
+type seriesSet struct {
+	series  map[string]*Series
+	ordered []*Series // first-seen order; sorted on demand at export
+	samples int
+}
+
+func newSeriesSet() seriesSet {
+	return seriesSet{series: make(map[string]*Series)}
+}
+
+// record appends the resource's current counters to its series, creating
+// the series at the current global sample index on first sight.
+func (ss *seriesSet) record(name string, res sim.Resource) {
+	se := ss.series[name]
+	if se == nil {
+		se = &Series{Name: name, start: ss.samples}
+		ss.series[name] = se
+		ss.ordered = append(ss.ordered, se)
+	}
+	st := res.ResourceStats()
+	se.Kind = st.Kind
+	se.occupancy.append(int64(st.Occupancy))
+	se.ops.append(int64(st.Ops))
+	se.bytes.append(int64(st.Bytes))
+	se.busy.append(int64(st.Busy))
+	se.wait.append(int64(st.Wait))
+	se.stalls.append(int64(st.Stalls))
+}
+
+// sorted returns every series sorted by resource name — the deterministic
+// export order (allocates; call at export time, not from the hot path).
+func (ss *seriesSet) sorted() []*Series {
+	out := make([]*Series, len(ss.ordered))
+	copy(out, ss.ordered)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
 // Sampler walks the engine's StatsRegistry on a fixed simulated-time
 // period and appends one Point per registered resource. It schedules
 // itself on the calendar and stops rescheduling once it is the only
@@ -87,13 +129,11 @@ type Sampler struct {
 	eng      *sim.Engine
 	interval sim.Time
 
-	times   column // sample instants, shared time axis for every series
-	series  map[string]*Series
-	ordered []*Series // first-seen order; sorted on demand at export
+	times column // sample instants, shared time axis for every series
+	seriesSet
 
 	walkFn  func(name string, res sim.Resource) // bound once: no per-sample closure
 	pending sim.EventHandle
-	samples int
 }
 
 // NewSampler creates a sampler on eng; interval <= 0 means
@@ -103,9 +143,9 @@ func NewSampler(eng *sim.Engine, interval sim.Time) *Sampler {
 		interval = DefaultInterval
 	}
 	s := &Sampler{
-		eng:      eng,
-		interval: interval,
-		series:   make(map[string]*Series),
+		eng:       eng,
+		interval:  interval,
+		seriesSet: newSeriesSet(),
 	}
 	s.walkFn = s.record
 	return s
@@ -155,32 +195,10 @@ func (s *Sampler) sampleNow() {
 	s.samples++
 }
 
-func (s *Sampler) record(name string, res sim.Resource) {
-	se := s.series[name]
-	if se == nil {
-		se = &Series{Name: name, start: s.samples}
-		s.series[name] = se
-		s.ordered = append(s.ordered, se)
-	}
-	st := res.ResourceStats()
-	se.Kind = st.Kind
-	se.occupancy.append(int64(st.Occupancy))
-	se.ops.append(int64(st.Ops))
-	se.bytes.append(int64(st.Bytes))
-	se.busy.append(int64(st.Busy))
-	se.wait.append(int64(st.Wait))
-	se.stalls.append(int64(st.Stalls))
-}
-
 // Series returns every recorded series sorted by resource name — the
 // deterministic export order (allocates; call at export time, not from
 // the hot path).
-func (s *Sampler) Series() []*Series {
-	out := make([]*Series, len(s.ordered))
-	copy(out, s.ordered)
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
-	return out
-}
+func (s *Sampler) Series() []*Series { return s.sorted() }
 
 // Lookup finds one series by resource name.
 func (s *Sampler) Lookup(name string) (*Series, bool) {

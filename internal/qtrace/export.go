@@ -9,6 +9,32 @@ import (
 
 // intervalHeader is the stable schema of the per-query interval CSV dump.
 // The qtrace-smoke CI target validates files against it.
+//
+// The phase column takes every Phase* constant value, single-server and
+// cluster alike (TestPhaseConstantsDocumented pins this list against the
+// constants):
+//
+//   - "queue": GAM scheduling-queue wait — and, on cluster runs, the
+//     front-end or shard job's submit-to-first-dispatch wait, with the
+//     detail naming the node-local lane ("nodeH", "shardS@nodeR").
+//   - "exec": accelerator execution; cluster shard legs use stage
+//     "Rerank", level "nearmem+nearstor" and detail "shardS@nodeR" for
+//     the whole scatter leg's device time.
+//   - "reconfig": partial-reconfiguration stall before execution.
+//   - "pollgap": device completion to GAM detection (polled tasks).
+//   - "xfer": inter-level DMA on one server, and on cluster runs the
+//     wire legs — image ingress ("client-nodeH", stage
+//     "FeatureExtraction"), scatter ("nodeH-nodeR", stage
+//     "ShortlistRetrieval") and response gather ("nodeR-fe", stage
+//     "Rerank").
+//   - "cache-hit": a query served by the cluster front end without a
+//     scatter; detail "fe-cache" is a direct hit, "fe-coalesce" a query
+//     coalesced onto an in-flight scatter for the same content.
+//
+// Cluster runs add the front-end stages to the stage column —
+// "FeatureExtraction" for the home-node feature leg, "ShortlistRetrieval"
+// for the scatter and "Rerank" for shard execution and gather — next to
+// the single-server pipeline stage names.
 var intervalHeader = []string{
 	"run", "query", "job", "phase", "stage", "level", "detail",
 	"start_us", "end_us", "dur_us",

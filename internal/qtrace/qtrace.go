@@ -130,6 +130,52 @@ type Observer interface {
 	QueryDone(id int, latency sim.Time)
 }
 
+// ObserverAt is an optional Observer extension for consumers that need
+// the simulated completion instant as well as the latency — the windowed
+// SLO monitor buckets completions into rolling sim-time windows. When an
+// attached Observer also implements ObserverAt, the log calls
+// QueryDoneAt in addition to QueryDone at every completion.
+type ObserverAt interface {
+	QueryDoneAt(id int, at, latency sim.Time)
+}
+
+// tee fans one completion stream out to two observers, a first, then b,
+// forwarding the ObserverAt extension to whichever side implements it.
+type tee struct {
+	a, b     Observer
+	aAt, bAt ObserverAt
+}
+
+func (t *tee) QueryDone(id int, latency sim.Time) {
+	t.a.QueryDone(id, latency)
+	t.b.QueryDone(id, latency)
+}
+
+func (t *tee) QueryDoneAt(id int, at, latency sim.Time) {
+	if t.aAt != nil {
+		t.aAt.QueryDoneAt(id, at, latency)
+	}
+	if t.bAt != nil {
+		t.bAt.QueryDoneAt(id, at, latency)
+	}
+}
+
+// Tee combines two observers into one (nil arguments collapse to the
+// other side). The returned observer implements ObserverAt when either
+// argument does.
+func Tee(a, b Observer) Observer {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	t := &tee{a: a, b: b}
+	t.aAt, _ = a.(ObserverAt)
+	t.bAt, _ = b.(ObserverAt)
+	return t
+}
+
 // Options configures a Log.
 type Options struct {
 	// Alpha is the latency sketch's relative-error bound (<= 0 means
@@ -148,6 +194,7 @@ type Options struct {
 // simulation goroutine.
 type Log struct {
 	opt     Options
+	obsAt   ObserverAt // opt.Observer's ObserverAt side, asserted once
 	sketch  *Sketch
 	queries []*Query
 	done    uint64
@@ -155,7 +202,9 @@ type Log struct {
 
 // NewLog returns an empty log.
 func NewLog(o Options) *Log {
-	return &Log{opt: o, sketch: NewSketch(o.Alpha)}
+	l := &Log{opt: o, sketch: NewSketch(o.Alpha)}
+	l.obsAt, _ = o.Observer.(ObserverAt)
+	return l
 }
 
 // Submitted opens query qid (the GAM's monotonically assigned QueryID)
@@ -196,6 +245,9 @@ func (l *Log) Completed(qid int, at sim.Time) {
 	}
 	if l.opt.Observer != nil {
 		l.opt.Observer.QueryDone(qid, q.Latency())
+	}
+	if l.obsAt != nil {
+		l.obsAt.QueryDoneAt(qid, at, q.Latency())
 	}
 }
 

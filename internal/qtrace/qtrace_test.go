@@ -187,3 +187,53 @@ func TestCSVAndJSONLExport(t *testing.T) {
 		t.Fatalf("JSONL records: %d intervals, %d queries", intervals, queries)
 	}
 }
+
+// captureAtObserver records QueryDoneAt callbacks (the ObserverAt
+// extension) alongside the base QueryDone stream.
+type captureAtObserver struct {
+	captureObserver
+	ats []sim.Time
+}
+
+func (c *captureAtObserver) QueryDoneAt(id int, at, lat sim.Time) {
+	c.ats = append(c.ats, at)
+}
+
+// TestObserverAtSeesCompletionInstant: an observer implementing the
+// ObserverAt extension gets the simulated completion time in addition to
+// the plain QueryDone callback.
+func TestObserverAtSeesCompletionInstant(t *testing.T) {
+	obs := &captureAtObserver{}
+	l := NewLog(Options{Observer: obs})
+	l.Submitted(0, 7, 100)
+	l.Completed(0, 350)
+	if len(obs.ids) != 1 || obs.ids[0] != 0 {
+		t.Fatalf("QueryDone ids = %v", obs.ids)
+	}
+	if len(obs.ats) != 1 || obs.ats[0] != 350 {
+		t.Fatalf("QueryDoneAt instants = %v, want [350]", obs.ats)
+	}
+}
+
+// TestTeeFansOut: Tee forwards completions to both observers, collapses
+// nil sides, and forwards the ObserverAt extension only to the side that
+// implements it.
+func TestTeeFansOut(t *testing.T) {
+	if Tee(nil, nil) != nil {
+		t.Fatal("Tee(nil, nil) should be nil")
+	}
+	plain := &captureObserver{}
+	if got := Tee(plain, nil); got != Observer(plain) {
+		t.Fatal("Tee(x, nil) should collapse to x")
+	}
+	at := &captureAtObserver{}
+	l := NewLog(Options{Observer: Tee(plain, at)})
+	l.Submitted(3, 1, 10)
+	l.Completed(3, 60)
+	if len(plain.ids) != 1 || len(at.ids) != 1 {
+		t.Fatalf("fan-out missed a side: plain %v at %v", plain.ids, at.ids)
+	}
+	if len(at.ats) != 1 || at.ats[0] != 60 {
+		t.Fatalf("ObserverAt side got %v, want [60]", at.ats)
+	}
+}

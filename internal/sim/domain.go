@@ -161,6 +161,39 @@ type MultiEngine struct {
 	// progress is rewritten in place at each barrier under progressMu.
 	progressMu sync.Mutex
 	progress   MultiProgress
+
+	// barrier, when set, is invoked by the coordinator after every round's
+	// progress publication and once more when the run drains.
+	barrier BarrierObserver
+}
+
+// BarrierObserver receives a coordinator callback at every barrier of a
+// MultiEngine run, after the round's cross-domain mailboxes were drained
+// and the progress snapshot was published. The callback runs on the
+// coordinator goroutine while every domain is quiescent, so the observer
+// may read domain clocks, calendars and the shared StatsRegistry without
+// synchronization — this is the sampling hook time-resolved cluster
+// observability hangs off. mailboxes[i] is domain i's inbound mailbox
+// depth observed at the barrier (before the drain emptied it). final is
+// true for the terminating callback of a Run invocation, when every
+// calendar and mailbox is empty.
+//
+// Observers must not schedule events: the round structure (and therefore
+// Rounds()) is part of the deterministic output, and an observer-injected
+// event would perturb it. Observation is read-only by contract.
+type BarrierObserver interface {
+	OnBarrier(m *MultiEngine, mailboxes []int, final bool)
+}
+
+// SetBarrierObserver installs the coordinator's barrier callback (nil
+// removes it). Barrier structure is worker-independent, so anything an
+// observer records is byte-identical at any SetWorkers width. Call
+// before Run.
+func (m *MultiEngine) SetBarrierObserver(o BarrierObserver) {
+	if m.running {
+		panic("sim: SetBarrierObserver during Run")
+	}
+	m.barrier = o
 }
 
 // mergeEntry pairs a drained cross event with its destination.
@@ -361,6 +394,9 @@ func (m *MultiEngine) Run() {
 		}
 		if tmin == MaxTime {
 			m.publishProgress(depths)
+			if m.barrier != nil {
+				m.barrier.OnBarrier(m, depths, true)
+			}
 			return
 		}
 		bound := tmin + m.lookahead
@@ -370,6 +406,9 @@ func (m *MultiEngine) Run() {
 		m.runRound(bound)
 		m.rounds++
 		m.publishProgress(depths)
+		if m.barrier != nil {
+			m.barrier.OnBarrier(m, depths, false)
+		}
 	}
 }
 

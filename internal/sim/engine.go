@@ -155,6 +155,10 @@ func (e *Engine) Stats() *StatsRegistry {
 // progress reporting and as a runaway-simulation guard in tests.
 func (e *Engine) Executed() uint64 { return e.executed }
 
+// ID reports the engine's domain index within its MultiEngine (0 for a
+// standalone engine).
+func (e *Engine) ID() int { return int(e.id) }
+
 // Pending reports the number of events currently scheduled. Cancelled
 // events are removed from the calendar eagerly and do not count.
 func (e *Engine) Pending() int { return len(e.heap) }

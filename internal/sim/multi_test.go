@@ -357,3 +357,75 @@ func TestMultiEngineModelPanicPropagates(t *testing.T) {
 		}()
 	}
 }
+
+// barrierLog records every coordinator callback: the round counter, the
+// frontier, each domain's clock and the final flag — enough to pin both
+// the callback protocol and its worker-count invariance.
+type barrierLog struct {
+	entries []string
+	finals  int
+}
+
+func (b *barrierLog) OnBarrier(m *MultiEngine, mailboxes []int, final bool) {
+	e := fmt.Sprintf("r%d f%v now%v", m.Rounds(), final, m.Now())
+	for i := 0; i < m.Domains(); i++ {
+		e += fmt.Sprintf(" d%d@%v/mb%d", i, m.Domain(i).Now(), mailboxes[i])
+	}
+	b.entries = append(b.entries, e)
+	if final {
+		b.finals++
+	}
+}
+
+// TestBarrierObserver: the observer fires after every round plus exactly
+// once at termination, sees quiescent barrier state, never perturbs the
+// round structure, and records an identical sequence at any worker count.
+func TestBarrierObserver(t *testing.T) {
+	run := func(workers int, obs *barrierLog) uint64 {
+		m := NewMultiEngine(2)
+		m.SetWorkers(workers)
+		if obs != nil {
+			m.SetBarrierObserver(obs)
+		}
+		cr := &chainRelay{rec: &recorder{}, hops: 12}
+		cr.doms = [2]*Engine{m.Domain(0), m.Domain(1)}
+		cr.links[0] = NewCrossLink(m.Domain(0), "bx.01", 1e9, 100)
+		cr.links[1] = NewCrossLink(m.Domain(1), "bx.10", 1e9, 100)
+		m.Domain(0).AtCall(0, cr, 0)
+		m.Run()
+		return m.Rounds()
+	}
+	obs1 := &barrierLog{}
+	r1 := run(1, obs1)
+	if obs1.finals != 1 {
+		t.Fatalf("final callbacks = %d, want 1", obs1.finals)
+	}
+	// One callback per executed round plus the terminating one.
+	if got, want := len(obs1.entries), int(r1)+1; got != want {
+		t.Fatalf("callbacks = %d, want %d (rounds %d + final)", got, want, r1)
+	}
+	obs8 := &barrierLog{}
+	r8 := run(8, obs8)
+	if r1 != r8 {
+		t.Fatalf("rounds differ with observer: w1=%d w8=%d", r1, r8)
+	}
+	if !reflect.DeepEqual(obs1.entries, obs8.entries) {
+		t.Fatalf("observer sequences diverge:\n w1: %v\n w8: %v", obs1.entries, obs8.entries)
+	}
+	// Observation must be free: the round count with no observer attached
+	// matches the observed runs bit for bit.
+	if plain := run(4, nil); plain != r1 {
+		t.Fatalf("observer changed round structure: %d vs %d", plain, r1)
+	}
+	// Re-running after new work submits fires a second final callback.
+	m := NewMultiEngine(1)
+	lg := &barrierLog{}
+	m.SetBarrierObserver(lg)
+	m.Domain(0).At(5, func() {})
+	m.Run()
+	m.Domain(0).At(m.Now()+5, func() {})
+	m.Run()
+	if lg.finals != 2 {
+		t.Fatalf("finals after two Runs = %d, want 2", lg.finals)
+	}
+}

@@ -52,6 +52,13 @@ const (
 	// that missed or found an expired entry, Occupancy/MaxOccupancy track
 	// resident entries and Utilization reports the hit rate.
 	KindCache ResourceKind = "cache"
+	// KindDomain is a synthetic per-event-domain series emitted by the
+	// barrier-driven cluster sampler (metrics.MultiSampler), not a wired
+	// resource: Occupancy is the domain calendar's pending population,
+	// Stalls the inbound mailbox depth at the barrier, Ops the cumulative
+	// events executed, Busy the domain's own clock and Wait its lag
+	// behind the cluster frontier.
+	KindDomain ResourceKind = "domain"
 )
 
 // ResourceStats is the uniform per-resource statistics snapshot. Fields

@@ -33,43 +33,51 @@ const counterPointCap = 2048
 // "C" counter events: per resource one "occupancy" track and one "busy %"
 // track (the busy-time delta over the decimated sampling stride, as a
 // percentage), rendered by Perfetto as counter lanes alongside the task
-// slices. Series longer than counterPointCap points are decimated.
-func (t *Timeline) AddCounters(s *metrics.Sampler) {
+// slices. Series longer than counterPointCap points are decimated. Accepts
+// any metrics.Source, so both the single-system Sampler and the cluster
+// MultiSampler export through the same path.
+func (t *Timeline) AddCounters(s metrics.Source) {
 	for _, se := range s.Series() {
-		stride := (se.Len() + counterPointCap - 1) / counterPointCap
-		if stride < 1 {
-			stride = 1
-		}
-		prevIdx := -1
-		for i := 0; i < se.Len(); i += stride {
-			gi := se.Start() + i // global sample index
-			p := se.At(i)
-			ts := us(s.Time(gi))
-			t.events = append(t.events, Event{
-				Name:  se.Name + " occupancy",
-				Cat:   "metrics",
-				Phase: "C",
-				TS:    ts,
-				PID:   1,
-				Args:  map[string]any{"value": p.Occupancy},
-			})
-			if prevIdx >= 0 {
-				prev := se.At(prevIdx)
-				dt := s.Time(gi) - s.Time(se.Start()+prevIdx)
-				if dt > 0 {
-					pct := float64(p.Busy-prev.Busy) / float64(dt) * 100
-					t.events = append(t.events, Event{
-						Name:  se.Name + " busy %",
-						Cat:   "metrics",
-						Phase: "C",
-						TS:    ts,
-						PID:   1,
-						Args:  map[string]any{"value": pct},
-					})
-				}
+		t.addCounterSeries(1, se.Name, s, se)
+	}
+}
+
+// addCounterSeries emits one series' occupancy and busy-% counter tracks
+// under the given pid and display name.
+func (t *Timeline) addCounterSeries(pid int, display string, s metrics.Source, se *metrics.Series) {
+	stride := (se.Len() + counterPointCap - 1) / counterPointCap
+	if stride < 1 {
+		stride = 1
+	}
+	prevIdx := -1
+	for i := 0; i < se.Len(); i += stride {
+		gi := se.Start() + i // global sample index
+		p := se.At(i)
+		ts := us(s.Time(gi))
+		t.events = append(t.events, Event{
+			Name:  display + " occupancy",
+			Cat:   "metrics",
+			Phase: "C",
+			TS:    ts,
+			PID:   pid,
+			Args:  map[string]any{"value": p.Occupancy},
+		})
+		if prevIdx >= 0 {
+			prev := se.At(prevIdx)
+			dt := s.Time(gi) - s.Time(se.Start()+prevIdx)
+			if dt > 0 {
+				pct := float64(p.Busy-prev.Busy) / float64(dt) * 100
+				t.events = append(t.events, Event{
+					Name:  display + " busy %",
+					Cat:   "metrics",
+					Phase: "C",
+					TS:    ts,
+					PID:   pid,
+					Args:  map[string]any{"value": pct},
+				})
 			}
-			prevIdx = i
 		}
+		prevIdx = i
 	}
 }
 
@@ -122,7 +130,11 @@ func (t *Timeline) AddQueries(l *qtrace.Log) {
 // AddSpans merges a GAM span log into the timeline: one "X" slice per span
 // on a per-category lane, with the cause, instance, job and the category's
 // detail value in args. Instantaneous spans render as zero-duration slices.
-func (t *Timeline) AddSpans(l *metrics.SpanLog) {
+func (t *Timeline) AddSpans(l *metrics.SpanLog) { t.addSpansAt(1, l) }
+
+// addSpansAt is AddSpans under an explicit process group (a cluster node's
+// pid).
+func (t *Timeline) addSpansAt(pid int, l *metrics.SpanLog) {
 	for _, sp := range l.Spans() {
 		t.events = append(t.events, Event{
 			Name:  fmt.Sprintf("%s [%s]", sp.Name, sp.Cause),
@@ -130,8 +142,8 @@ func (t *Timeline) AddSpans(l *metrics.SpanLog) {
 			Phase: "X",
 			TS:    us(sp.Start),
 			Dur:   us(sp.End - sp.Start),
-			PID:   1,
-			TID:   t.lane(sp.Cat),
+			PID:   pid,
+			TID:   t.laneAt(pid, sp.Cat),
 			Args: map[string]any{
 				"cause":    sp.Cause,
 				"instance": sp.Lane,

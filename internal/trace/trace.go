@@ -20,11 +20,12 @@ import (
 type Event struct {
 	Name  string         `json:"name"`
 	Cat   string         `json:"cat"`
-	Phase string         `json:"ph"` // "X" = complete event
+	Phase string         `json:"ph"` // "X" = complete, "C" = counter, "b"/"e" = async
 	TS    float64        `json:"ts"` // microseconds
 	Dur   float64        `json:"dur,omitempty"`
 	PID   int            `json:"pid"`
 	TID   int            `json:"tid"`
+	ID    string         `json:"id,omitempty"` // async-event correlation id
 	Args  map[string]any `json:"args,omitempty"`
 }
 
@@ -37,25 +38,50 @@ type metaEvent struct {
 	Args  map[string]any `json:"args"`
 }
 
+// laneKey identifies a lane: Chrome thread ids are scoped per process, so
+// a lane is a (pid, name) pair. Single-system traces live entirely in pid
+// 1; cluster traces give every node its own process group (see AddCluster).
+type laneKey struct {
+	pid  int
+	name string
+}
+
 // Timeline accumulates events from completed jobs.
 type Timeline struct {
-	events []Event
-	lanes  map[string]int // instance name → tid
-	order  []string
+	events  []Event
+	lanes   map[laneKey]int // (pid, lane name) → tid
+	nextTID map[int]int     // per-pid tid allocator
+	order   []laneKey
+	procs   map[int]string // pid → process name (only named pids emit metadata)
 }
 
 // NewTimeline returns an empty timeline.
 func NewTimeline() *Timeline {
-	return &Timeline{lanes: make(map[string]int)}
+	return &Timeline{
+		lanes:   make(map[laneKey]int),
+		nextTID: make(map[int]int),
+		procs:   make(map[int]string),
+	}
 }
 
-func (t *Timeline) lane(name string) int {
-	if id, ok := t.lanes[name]; ok {
+// SetProcessName names a Chrome process group. Unnamed pids emit no
+// process metadata, so single-process traces are byte-identical to the
+// pre-cluster format.
+func (t *Timeline) SetProcessName(pid int, name string) {
+	t.procs[pid] = name
+}
+
+func (t *Timeline) lane(name string) int { return t.laneAt(1, name) }
+
+func (t *Timeline) laneAt(pid int, name string) int {
+	k := laneKey{pid, name}
+	if id, ok := t.lanes[k]; ok {
 		return id
 	}
-	id := len(t.lanes) + 1
-	t.lanes[name] = id
-	t.order = append(t.order, name)
+	t.nextTID[pid]++
+	id := t.nextTID[pid]
+	t.lanes[k] = id
+	t.order = append(t.order, k)
 	return id
 }
 
@@ -116,29 +142,64 @@ func (t *Timeline) AddJob(j *core.Job) error {
 // Events reports how many events were recorded.
 func (t *Timeline) Events() int { return len(t.events) }
 
-// Lanes lists the lanes in first-seen order.
+// Lanes lists the lanes in first-seen order. Lanes outside pid 1 are
+// prefixed with their process name ("node 2/net in").
 func (t *Timeline) Lanes() []string {
-	out := make([]string, len(t.order))
-	copy(out, t.order)
+	out := make([]string, 0, len(t.order))
+	for _, k := range t.order {
+		if k.pid == 1 {
+			out = append(out, k.name)
+			continue
+		}
+		proc := t.procs[k.pid]
+		if proc == "" {
+			proc = fmt.Sprintf("pid%d", k.pid)
+		}
+		out = append(out, proc+"/"+k.name)
+	}
 	return out
 }
 
 // WriteJSON emits the trace in Chrome trace-event array format.
 func (t *Timeline) WriteJSON(w io.Writer) error {
 	var all []any
-	// Lane-name metadata first, in deterministic order.
-	names := make([]string, 0, len(t.lanes))
-	for n := range t.lanes {
-		names = append(names, n)
+	// Process- and lane-name metadata first, in deterministic order.
+	pids := make([]int, 0, len(t.procs))
+	for pid := range t.procs {
+		pids = append(pids, pid)
 	}
-	sort.Strings(names)
-	for _, n := range names {
+	sort.Ints(pids)
+	for _, pid := range pids {
+		all = append(all, metaEvent{
+			Name:  "process_name",
+			Phase: "M",
+			PID:   pid,
+			Args:  map[string]any{"name": t.procs[pid]},
+		})
+		all = append(all, metaEvent{
+			Name:  "process_sort_index",
+			Phase: "M",
+			PID:   pid,
+			Args:  map[string]any{"sort_index": pid},
+		})
+	}
+	keys := make([]laneKey, 0, len(t.lanes))
+	for k := range t.lanes {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].pid != keys[j].pid {
+			return keys[i].pid < keys[j].pid
+		}
+		return keys[i].name < keys[j].name
+	})
+	for _, k := range keys {
 		all = append(all, metaEvent{
 			Name:  "thread_name",
 			Phase: "M",
-			PID:   1,
-			TID:   t.lanes[n],
-			Args:  map[string]any{"name": n},
+			PID:   k.pid,
+			TID:   t.lanes[k],
+			Args:  map[string]any{"name": k.name},
 		})
 	}
 	evs := make([]Event, len(t.events))
