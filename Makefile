@@ -32,6 +32,12 @@
 #                      artifacts, the trace JSON must parse, the straggler
 #                      and SLO tables must appear, and the obs-off report
 #                      must still match the committed golden
+#   make flight-smoke — flight-recorder check: the flash-crowd run with
+#                      -flight -detect must cut exactly one diagnostic
+#                      bundle (slo-burn verdict, queue-dominated window),
+#                      the whole bundle directory must be byte-identical
+#                      at -pj 1 and -pj 8, and the flight-off report must
+#                      still match the committed golden
 
 GO ?= go
 SMOKE_DIR := metrics-smoke-out
@@ -40,8 +46,9 @@ CSMOKE_DIR := cluster-smoke-out
 PSMOKE_DIR := cluster-par-smoke-out
 CACHESMOKE_DIR := cache-smoke-out
 OBSSMOKE_DIR := cluster-obs-smoke-out
+FLIGHTSMOKE_DIR := flight-smoke-out
 
-.PHONY: check fmt-check build vet test race bench bench-smoke metrics-smoke qtrace-smoke cluster-smoke cluster-par-smoke cache-smoke cluster-obs-smoke
+.PHONY: check fmt-check build vet test race bench bench-smoke metrics-smoke qtrace-smoke cluster-smoke cluster-par-smoke cache-smoke cluster-obs-smoke flight-smoke
 
 check: fmt-check build vet race
 
@@ -187,3 +194,26 @@ cluster-obs-smoke:
 	diff cmd/reachsim/testdata/cluster_smoke.golden $(OBSSMOKE_DIR)/report-off.txt
 	CLUSTER_OBS_SMOKE_DIR=$$PWD/$(OBSSMOKE_DIR) $(GO) test \
 		-run 'TestClusterObsSmokeArtifacts|TestClusterObsArtifactsParallelInvariant|TestValidateFlagMatrix' -v ./cmd/reachsim/
+
+# Flight-recorder smoke: the flash-crowd scenario must trigger the SLO
+# burn-rate detector exactly once and cut one self-contained bundle whose
+# five files are byte-identical at -pj 1 and -pj 8; the verdict must be
+# queue-dominated; a flight-off run must still match the committed
+# golden. The in-process acceptance tests then re-validate the bundle
+# schema at -pj 1/4/8.
+flight-smoke:
+	rm -rf $(FLIGHTSMOKE_DIR) && mkdir -p $(FLIGHTSMOKE_DIR)
+	$(GO) build -o $(FLIGHTSMOKE_DIR)/reachsim ./cmd/reachsim
+	$(FLIGHTSMOKE_DIR)/reachsim -cluster -pj 1 -slo 400 -arrival flash \
+		-flight $(FLIGHTSMOKE_DIR)/pj1 -detect > $(FLIGHTSMOKE_DIR)/report-pj1.txt
+	$(FLIGHTSMOKE_DIR)/reachsim -cluster -pj 8 -slo 400 -arrival flash \
+		-flight $(FLIGHTSMOKE_DIR)/pj8 -detect > $(FLIGHTSMOKE_DIR)/report-pj8.txt
+	diff $(FLIGHTSMOKE_DIR)/report-pj1.txt $(FLIGHTSMOKE_DIR)/report-pj8.txt
+	test "$$(ls $(FLIGHTSMOKE_DIR)/pj1 | wc -l)" -eq 1
+	diff -r $(FLIGHTSMOKE_DIR)/pj1 $(FLIGHTSMOKE_DIR)/pj8
+	grep -q '"detector": "slo-burn"' $(FLIGHTSMOKE_DIR)/pj1/bundle-*/verdict.json
+	grep -q '"dominant_cause": "queue"' $(FLIGHTSMOKE_DIR)/pj1/bundle-*/verdict.json
+	grep -q 'overall dominant cause queue' $(FLIGHTSMOKE_DIR)/pj1/bundle-*/stragglers.txt
+	$(FLIGHTSMOKE_DIR)/reachsim -cluster > $(FLIGHTSMOKE_DIR)/report-off.txt
+	diff cmd/reachsim/testdata/cluster_smoke.golden $(FLIGHTSMOKE_DIR)/report-off.txt
+	$(GO) test -run TestClusterFlight -v ./cmd/reachsim/

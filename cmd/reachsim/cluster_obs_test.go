@@ -47,6 +47,12 @@ func TestValidateFlagMatrix(t *testing.T) {
 		{[]string{"cluster", "cache-ttl"}, "-cache-ttl requires -cache"},
 		{[]string{"http-linger"}, "-http-linger requires -http"},
 		{[]string{"cluster", "http-linger"}, "-http-linger requires -http"},
+		{[]string{"flight"}, "-flight requires -cluster"},
+		{[]string{"arrival"}, "-arrival requires -cluster"},
+		{[]string{"flight-window"}, "-flight-window requires -cluster"},
+		{[]string{"cluster", "flight-window"}, "-flight-window requires -flight"},
+		{[]string{"cluster", "detect"}, "-detect requires -flight"},
+		{[]string{"cluster", "detect", "flight-window"}, "requires -flight"},
 	}
 	for _, c := range rejected {
 		err := validateFlags(given(c.flags...))
@@ -62,6 +68,8 @@ func TestValidateFlagMatrix(t *testing.T) {
 		{"trace", "spans", "metrics-interval"},
 		{"cluster", "nodes", "route", "pj", "cache", "cache-ttl", "csv"},
 		{"cluster", "metrics", "metrics-interval", "spans", "trace", "slo", "slo-window", "http", "http-linger"},
+		{"cluster", "flight"},
+		{"cluster", "flight", "flight-window", "detect", "arrival", "slo", "metrics", "trace"},
 		{"stats", "csv"},
 	}
 	for _, flags := range accepted {

@@ -15,6 +15,7 @@
 //	reachsim -cluster -cache 32    # same run with the front-end result cache on
 //	reachsim -cluster -metrics m.csv -trace t.json   # cluster time series + Chrome trace
 //	reachsim -cluster -slo 250     # rolling SLO windows against a 250 ms objective
+//	reachsim -cluster -flight out -detect -arrival flash    # flight recorder: anomaly-triggered diagnostic bundle
 //	reachsim -exp all -http :8080  # live inspector while experiments run
 //	reachsim -list                 # list experiment ids
 package main
@@ -36,6 +37,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/energy"
 	"repro/internal/experiments"
+	"repro/internal/flight"
 	"repro/internal/inspect"
 	"repro/internal/metrics"
 	"repro/internal/qtrace"
@@ -67,6 +69,19 @@ const (
 	clusterRunSeed    = 1
 )
 
+// flashRunQueries/flashRunQPS replace the pinned inputs under -arrival
+// flash: the detectors' trailing windows need queries before, during and
+// after the burst, and the baseline must sit below the cluster's service
+// capacity so the middle-third 8× burst — not the baseline — is what
+// drives latency past the objective (see experiments.ArrivalFlash).
+const (
+	flashRunQueries = 96
+	flashRunQPS     = 8
+)
+
+// defaultFlightWindowMS is the -flight-window default retention horizon.
+const defaultFlightWindowMS = 1000
+
 // defaultSLOWindowMS is the -slo-window default: wide enough that the
 // pinned 32-query run still fills several windows.
 const defaultSLOWindowMS = 250
@@ -85,7 +100,8 @@ func validateFlags(given map[string]bool) error {
 			}
 		}
 	} else {
-		for _, f := range []string{"nodes", "route", "cache", "cache-ttl", "slo", "slo-window"} {
+		for _, f := range []string{"nodes", "route", "cache", "cache-ttl", "slo", "slo-window",
+			"flight", "flight-window", "detect", "arrival"} {
 			if given[f] {
 				return fmt.Errorf("-%s requires -cluster", f)
 			}
@@ -93,6 +109,12 @@ func validateFlags(given map[string]bool) error {
 	}
 	if given["slo-window"] && !given["slo"] {
 		return fmt.Errorf("-slo-window requires -slo")
+	}
+	if given["flight-window"] && !given["flight"] {
+		return fmt.Errorf("-flight-window requires -flight")
+	}
+	if given["detect"] && !given["flight"] {
+		return fmt.Errorf("-detect requires -flight")
 	}
 	if given["cache-ttl"] && !given["cache"] {
 		return fmt.Errorf("-cache-ttl requires -cache")
@@ -130,6 +152,10 @@ func main() {
 		cacheTTLF = flag.Float64("cache-ttl", 0, "with -cluster -cache, override the cache TTL in milliseconds (0 = config default, 500)")
 		sloF      = flag.Float64("slo", 0, "with -cluster, latency objective in milliseconds: track rolling sim-time windows of p50/p99/p999 and SLO burn, print the window table and serve it on -http (/progress, expvar)")
 		sloWinF   = flag.Float64("slo-window", defaultSLOWindowMS, "with -cluster -slo, rolling window width in milliseconds")
+		flightF   = flag.String("flight", "", "with -cluster, run the always-on flight recorder and write a diagnostic bundle directory under this path (triggered by -detect, else an end-of-run dump)")
+		flightWin = flag.Float64("flight-window", defaultFlightWindowMS, "with -cluster -flight, retention window in simulated milliseconds")
+		detectF   = flag.Bool("detect", false, "with -cluster -flight, arm the online anomaly detectors (SLO burn rate, queue divergence, cache collapse); the first trigger freezes the rings and the bundle captures the anomaly window")
+		arrivalF  = flag.String("arrival", "", "with -cluster, arrival process: poisson (default) or flash (a seeded flash crowd — the middle third of a longer query sequence arrives 8x faster)")
 	)
 	flag.Parse()
 	given := map[string]bool{}
@@ -184,6 +210,10 @@ func main() {
 			tracePath:   *tracePath,
 			sloMs:       *sloF,
 			sloWindowMs: *sloWinF,
+			flightDir:   *flightF,
+			flightWinMs: *flightWin,
+			detect:      *detectF,
+			arrival:     *arrivalF,
 		}
 		if *metricsF != "" || *spans || *metricsIv > 0 {
 			co.metrics = &mo
@@ -325,6 +355,16 @@ type clusterOptions struct {
 	// against this objective; sloWindowMs is the window width.
 	sloMs       float64
 	sloWindowMs float64
+	// flightDir, when set, runs the flight recorder and writes one
+	// diagnostic bundle directory beneath it; flightWinMs is the retention
+	// window and detect arms the online anomaly detectors.
+	flightDir   string
+	flightWinMs float64
+	detect      bool
+	// arrival selects the pinned run's arrival process: "" or "poisson"
+	// for the golden-pinned open loop, "flash" for the seeded flash crowd
+	// (a longer sequence whose middle third arrives 8x faster).
+	arrival string
 }
 
 // runCluster is the -cluster path: one pinned scatter-gather deployment
@@ -377,6 +417,30 @@ func runCluster(w io.Writer, o clusterOptions) error {
 			insp.ObserveSLO(slo)
 		}
 	}
+	var fr *flight.Recorder
+	if o.flightDir != "" {
+		fc := flight.Config{Detect: o.detect}
+		if o.flightWinMs > 0 {
+			fc.Window = sim.FromSeconds(o.flightWinMs / 1e3)
+		}
+		// When the run tracks an SLO, the burn detector breaches against
+		// the same objective the SLO monitor reports on.
+		if o.sloMs > 0 {
+			fc.Objective = sim.FromSeconds(o.sloMs / 1e3)
+		}
+		fr = flight.New(fc)
+		qo.Observer = qtrace.Tee(qo.Observer, fr)
+	}
+	arr := experiments.ArrivalSpec{Process: experiments.ArrivalPoisson, Seed: clusterRunSeed}
+	queries, rate := clusterRunQueries, float64(clusterRunQPS)
+	switch o.arrival {
+	case "", "poisson":
+	case "flash":
+		arr.Process = experiments.ArrivalFlash
+		queries, rate = flashRunQueries, flashRunQPS
+	default:
+		return fmt.Errorf("unknown -arrival %q (valid: poisson, flash)", o.arrival)
+	}
 	var rec *metrics.MultiRecorder
 	observe := func(cl *cluster.Cluster) {
 		if o.metrics != nil {
@@ -385,6 +449,29 @@ func runCluster(w io.Writer, o clusterOptions) error {
 				rec.Spans = cl.AttachSpans()
 			}
 			cl.EnableStragglers()
+		}
+		if fr != nil {
+			fr.AttachLog(cl.QLog())
+			fr.SetLoadProvider(cl.RouterStats().LoadsInto)
+			if cl.CacheEnabled() {
+				fr.SetCacheProvider(func() (uint64, uint64) {
+					cs := cl.CacheStats()
+					return cs.Lookups, cs.Hits
+				})
+			}
+			// The MultiEngine exposes one barrier-observer slot; when both
+			// the metrics sampler and the flight recorder ride the run, tee
+			// the slot — sampler first, so its series stay identical to a
+			// flight-off run.
+			var sampler sim.BarrierObserver
+			if rec != nil {
+				sampler = rec.Sampler
+			}
+			cl.Multi().SetBarrierObserver(flight.BarrierTee(sampler, fr))
+			cl.EnableStragglers()
+			if insp != nil {
+				insp.ObserveAnomalies(func() inspect.AnomalyStatus { return anomalyStatus(fr) })
+			}
 		}
 		if insp == nil {
 			return
@@ -402,7 +489,7 @@ func runCluster(w io.Writer, o clusterOptions) error {
 		}
 	}
 	cl, t, err := experiments.ClusterRun(workload.DefaultModel(), ccfg,
-		clusterRunQueries, clusterRunQPS, clusterRunSeed, qo, observe)
+		queries, rate, arr, qo, observe)
 	if err != nil {
 		return err
 	}
@@ -438,6 +525,19 @@ func runCluster(w io.Writer, o clusterOptions) error {
 		}
 		fmt.Fprintf(os.Stderr, "trace written to %s (open in chrome://tracing or Perfetto)\n", o.tracePath)
 	}
+	if fr != nil {
+		dir, err := writeFlightBundle(o.flightDir, fr, cl, ccfg.Nodes, rec)
+		if err != nil {
+			return err
+		}
+		if fr.Frozen() {
+			v := fr.Verdict()
+			fmt.Fprintf(os.Stderr, "flight: %s detected at %.3f ms; bundle written to %s\n",
+				v.Detector, v.TriggerMS, dir)
+		} else {
+			fmt.Fprintf(os.Stderr, "flight: no anomaly detected; end-of-run bundle written to %s\n", dir)
+		}
+	}
 	fmt.Fprintf(os.Stderr, "cluster run complete: %d queries\n", cl.Completed())
 	if insp != nil && o.httpWait > 0 {
 		fmt.Fprintf(os.Stderr, "inspector lingering %s\n", o.httpWait)
@@ -472,7 +572,13 @@ func writeClusterMetrics(path string, rec *metrics.MultiRecorder) error {
 // the query timelines alone.
 func writeClusterTrace(path string, nodes int, cl *cluster.Cluster, rec *metrics.MultiRecorder) error {
 	tl := trace.NewTimeline()
-	tl.AddCluster(nodes, cl.QLog(), rec)
+	var counters metrics.Source
+	var spans []*metrics.SpanLog
+	if rec != nil {
+		counters = rec.Sampler
+		spans = rec.Spans
+	}
+	tl.AddCluster(nodes, cl.QLog(), counters, spans)
 	f, err := os.Create(path)
 	if err != nil {
 		return err

@@ -131,6 +131,13 @@ func (r *Router) Done(node int) {
 // Load reports a node's current outstanding requests.
 func (r *Router) Load(node int) int { return r.load[node] }
 
+// LoadsInto appends every node's current outstanding count to dst and
+// returns it — the flight recorder's allocation-free view of live queue
+// depths (callers pass a reused scratch slice).
+func (r *Router) LoadsInto(dst []int) []int {
+	return append(dst, r.load...)
+}
+
 // Routed returns a copy of the per-node routed-request totals.
 func (r *Router) Routed() []uint64 {
 	return append([]uint64(nil), r.routed...)

@@ -157,6 +157,17 @@ func dominantCause(causes map[string]int) string {
 	return best
 }
 
+// DominantCause reports the most frequent critical-leg cause across recs
+// (queue > exec > wire tie order), "" for an empty set — the one-word
+// verdict a flight-recorder bundle attaches to its windowed stragglers.
+func DominantCause(recs []StragglerRecord) string {
+	if len(recs) == 0 {
+		return ""
+	}
+	_, _, cause := aggregate(recs)
+	return cause
+}
+
 // tailLine formats one tail subset as a footnote: threshold, population,
 // the leg most often critical in it, and the subset's dominant cause.
 func tailLine(label string, recs []StragglerRecord, thresh sim.Time) string {

@@ -204,14 +204,14 @@ func ClusterSweep(m workload.Model, cfg config.ClusterConfig, nodeCounts []int, 
 	return &ClusterSweepResult{Points: points}, nil
 }
 
-// ClusterRun executes one cluster deployment under seeded Poisson
-// arrivals and reduces it to a summary table — the CLI's -cluster path
-// and the CI cluster smoke. observe, when non-nil, receives the assembled
-// cluster before the simulation starts, so live tooling (the inspector's
-// per-domain progress view) can attach to the MultiEngine. Deterministic
-// for fixed inputs: the table is byte-identical run to run — and at any
-// ParallelDomains — which is what the smoke golden diffs.
-func ClusterRun(m workload.Model, cfg config.ClusterConfig, queries int, rate float64, seed int64, qopt qtrace.Options, observe func(*cluster.Cluster)) (*cluster.Cluster, *report.Table, error) {
+// ClusterRun executes one cluster deployment under the given seeded
+// arrival process and reduces it to a summary table — the CLI's -cluster
+// path and the CI cluster smoke. observe, when non-nil, receives the
+// assembled cluster before the simulation starts, so live tooling (the
+// inspector's per-domain progress view) can attach to the MultiEngine.
+// Deterministic for fixed inputs: the table is byte-identical run to run
+// — and at any ParallelDomains — which is what the smoke golden diffs.
+func ClusterRun(m workload.Model, cfg config.ClusterConfig, queries int, rate float64, arr ArrivalSpec, qopt qtrace.Options, observe func(*cluster.Cluster)) (*cluster.Cluster, *report.Table, error) {
 	cl, err := cluster.New(cfg, m, qopt)
 	if err != nil {
 		return nil, nil, err
@@ -219,7 +219,7 @@ func ClusterRun(m workload.Model, cfg config.ClusterConfig, queries int, rate fl
 	if observe != nil {
 		observe(cl)
 	}
-	at := ArrivalSpec{Process: ArrivalPoisson, Seed: seed}.schedule(rate, queries, 0)
+	at := arr.schedule(rate, queries, 0)
 	for q := 0; q < queries; q++ {
 		cl.SubmitAt(at(q))
 	}

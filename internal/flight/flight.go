@@ -1,0 +1,689 @@
+// Package flight is the cluster's always-on black-box recorder: a set of
+// bounded sliding rings that continuously retain the last W sim-
+// milliseconds of observability data — per-query timelines (through a
+// qtrace.Retainer on the front end's completion stream), per-domain
+// barrier snapshots, router queue depths and cache counters — plus an
+// online detector layer that watches the same stream for anomalies: SLO
+// burn-rate breach over short and long trailing windows (multi-window,
+// error-budget style), hot-shard queue divergence (max/median outstanding
+// ratio), and cache hit-rate collapse. The first detector to fire freezes
+// every ring, so the retained window ends exactly at the anomaly and a
+// self-contained diagnostic bundle — windowed Chrome trace, straggler
+// table, barrier/mailbox stats, detector verdict with the triggering time
+// series — can be cut after the run (cmd/reachsim's -flight bundle
+// writer).
+//
+// Determinism. Both recorder inputs are already serialised by the
+// engine's determinism machinery: query completions fire in the front-end
+// event domain in nondecreasing simulated-time order (DESIGN.md §4g), and
+// barrier callbacks run on the coordinator with a worker-independent
+// round structure (§4i). Every ring therefore holds a pure function of
+// the simulation — byte-identical at any -j/-pj worker count — and so
+// does the frozen window: the trigger is evaluated per completion from
+// ring state alone, so the freeze lands on the same completion at any
+// parallelism. Sliding-window maintenance is O(1) amortised per event.
+//
+// When the recorder is not attached, nothing in the hot path changes:
+// the observer hooks stay nil and every 0-allocs/op gate holds.
+package flight
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/qtrace"
+	"repro/internal/sim"
+)
+
+// Detector names, as they appear in verdicts and detection counters.
+const (
+	DetectorSLOBurn   = "slo-burn"
+	DetectorQueueSkew = "queue-divergence"
+	DetectorCacheDrop = "cache-collapse"
+)
+
+// Defaults for the recorder window and the SLO objective.
+const (
+	DefaultWindow    = sim.Second
+	DefaultObjective = 250 * sim.Millisecond
+)
+
+// Config tunes the recorder and its detectors. Zero values select the
+// documented defaults.
+type Config struct {
+	// Window is the retention horizon: rings keep data from the trailing
+	// Window of simulated time (<= 0 means DefaultWindow).
+	Window sim.Time
+	// Detect arms the online detectors; without it the recorder only
+	// retains (an end-of-run bundle can still be cut from the live ring).
+	Detect bool
+	// Objective is the latency SLO the burn detector breaches against
+	// (<= 0 means DefaultObjective).
+	Objective sim.Time
+
+	// ShortWindow and LongWindow are the burn detector's two trailing
+	// windows (<= 0 means Window/8 and Window/2). Requiring both windows
+	// to burn at once is the standard error-budget construction: the long
+	// window proves the breach is sustained, the short window proves it is
+	// still happening.
+	ShortWindow, LongWindow sim.Time
+	// BurnThreshold is the breach fraction both windows must reach
+	// (<= 0 means 0.5).
+	BurnThreshold float64
+	// MinCompletions gates the burn detector until the long window holds
+	// this many completions (<= 0 means 8), so a few slow queries at the
+	// start of a run cannot trigger it. The long window carries the
+	// statistical mass; the short window only has to agree in fraction.
+	MinCompletions int
+
+	// QueueRatio is the queue-divergence trigger: max/median per-node
+	// outstanding requests (<= 0 means 4). QueueFloor is the minimum max
+	// depth before the ratio is considered (<= 0 means 8) — an idle
+	// cluster's 1/0 split is not a hot shard.
+	QueueRatio float64
+	QueueFloor int
+
+	// CacheDrop is the hit-rate collapse trigger: the short-window hit
+	// rate falling this far below the long-window rate (<= 0 means 0.25),
+	// evaluated only once the short window saw CacheMinLookups lookups
+	// (<= 0 means 32). Inert when no cache provider is attached.
+	CacheDrop       float64
+	CacheMinLookups uint64
+
+	// BarrierEvery throttles barrier-ring samples to at most one per this
+	// much frontier advance (<= 0 means Window/64), bounding the ring at
+	// ~64 entries regardless of how fine the lookahead rounds are.
+	BarrierEvery sim.Time
+}
+
+// withDefaults resolves every zero field.
+func (c Config) withDefaults() Config {
+	if c.Window <= 0 {
+		c.Window = DefaultWindow
+	}
+	if c.Objective <= 0 {
+		c.Objective = DefaultObjective
+	}
+	if c.ShortWindow <= 0 {
+		c.ShortWindow = c.Window / 8
+	}
+	if c.LongWindow <= 0 {
+		c.LongWindow = c.Window / 2
+	}
+	if c.BurnThreshold <= 0 {
+		c.BurnThreshold = 0.5
+	}
+	if c.MinCompletions <= 0 {
+		c.MinCompletions = 8
+	}
+	if c.QueueRatio <= 0 {
+		c.QueueRatio = 4
+	}
+	if c.QueueFloor <= 0 {
+		c.QueueFloor = 8
+	}
+	if c.CacheDrop <= 0 {
+		c.CacheDrop = 0.25
+	}
+	if c.CacheMinLookups <= 0 {
+		c.CacheMinLookups = 32
+	}
+	if c.BarrierEvery <= 0 {
+		c.BarrierEvery = c.Window / 64
+	}
+	return c
+}
+
+// ConfigView is the resolved configuration as it appears in a verdict.
+type ConfigView struct {
+	WindowMS        float64 `json:"window_ms"`
+	Detect          bool    `json:"detect"`
+	ObjectiveMS     float64 `json:"objective_ms"`
+	ShortWindowMS   float64 `json:"short_window_ms"`
+	LongWindowMS    float64 `json:"long_window_ms"`
+	BurnThreshold   float64 `json:"burn_threshold"`
+	MinCompletions  int     `json:"min_completions"`
+	QueueRatio      float64 `json:"queue_ratio"`
+	QueueFloor      int     `json:"queue_floor"`
+	CacheDrop       float64 `json:"cache_drop"`
+	CacheMinLookups uint64  `json:"cache_min_lookups"`
+}
+
+func (c Config) view() ConfigView {
+	return ConfigView{
+		WindowMS:        c.Window.Milliseconds(),
+		Detect:          c.Detect,
+		ObjectiveMS:     c.Objective.Milliseconds(),
+		ShortWindowMS:   c.ShortWindow.Milliseconds(),
+		LongWindowMS:    c.LongWindow.Milliseconds(),
+		BurnThreshold:   c.BurnThreshold,
+		MinCompletions:  c.MinCompletions,
+		QueueRatio:      c.QueueRatio,
+		QueueFloor:      c.QueueFloor,
+		CacheDrop:       c.CacheDrop,
+		CacheMinLookups: c.CacheMinLookups,
+	}
+}
+
+// ObsPoint is one detector observation, evaluated at one query
+// completion — the time series a verdict carries so the bundle shows the
+// signals leading into the trigger, not just the final values.
+type ObsPoint struct {
+	TMS       float64 `json:"t_ms"`
+	LatencyMS float64 `json:"latency_ms"`
+	Breached  bool    `json:"breached"`
+	// Burn fractions over the short/long trailing windows, and how many
+	// completions each window held.
+	BurnShort float64 `json:"burn_short"`
+	BurnLong  float64 `json:"burn_long"`
+	ShortN    int     `json:"short_n"`
+	LongN     int     `json:"long_n"`
+	// Per-node outstanding-queue shape at this completion.
+	QueueMax    int     `json:"queue_max"`
+	QueueMedian float64 `json:"queue_median"`
+	QueueRatio  float64 `json:"queue_ratio"`
+	// Cache hit rates over the short/long windows (-1 when no cache).
+	HitShort float64 `json:"hit_short"`
+	HitLong  float64 `json:"hit_long"`
+}
+
+// obsEntry is the ring-internal observation: the point plus the raw
+// cumulative values trailing-window deltas are computed from.
+type obsEntry struct {
+	at       sim.Time
+	breached bool
+	lookups  uint64
+	hits     uint64
+	pt       ObsPoint
+}
+
+// DomainStat is one domain's position in a barrier sample.
+type DomainStat struct {
+	ClockUS  float64 `json:"clock_us"`
+	Pending  int     `json:"pending"`
+	Mailbox  int     `json:"mailbox"`
+	Executed uint64  `json:"executed"`
+}
+
+// BarrierSample is one retained barrier snapshot: the cluster frontier,
+// the round counter, and every domain's clock/calendar/mailbox state.
+type BarrierSample struct {
+	at         sim.Time
+	FrontierUS float64      `json:"frontier_us"`
+	Round      uint64       `json:"round"`
+	Final      bool         `json:"final"`
+	Domains    []DomainStat `json:"domains"`
+}
+
+// Verdict is the detector outcome a bundle is cut around. Detector is ""
+// for an end-of-run dump (flight recording without a trigger).
+type Verdict struct {
+	Detector    string            `json:"detector"`
+	Reason      string            `json:"reason,omitempty"`
+	TriggerMS   float64           `json:"trigger_ms,omitempty"`
+	Config      ConfigView        `json:"config"`
+	Completions uint64            `json:"completions"`
+	Breaches    uint64            `json:"breaches"`
+	Detections  map[string]uint64 `json:"detections,omitempty"`
+	// Observed is the detector observation at the trigger (or the last
+	// one recorded, for an end-of-run dump).
+	Observed *ObsPoint `json:"observed,omitempty"`
+	// Series is the in-window observation history, oldest first.
+	Series []ObsPoint `json:"series"`
+	// RouterLoads is the per-node outstanding snapshot at the freeze.
+	RouterLoads []int `json:"router_loads,omitempty"`
+	// CacheLookups/CacheHits are the cumulative cache counters at the
+	// freeze (present only when a cache provider was attached).
+	CacheLookups uint64 `json:"cache_lookups,omitempty"`
+	CacheHits    uint64 `json:"cache_hits,omitempty"`
+}
+
+// Status is the recorder's live state, served by the inspector's
+// /anomalies endpoint and expvars while the simulation runs.
+type Status struct {
+	WindowMS        float64
+	Detect          bool
+	Completions     uint64
+	Breaches        uint64
+	Retained        int
+	Detections      map[string]uint64
+	Frozen          bool
+	TriggerDetector string
+	TriggerMS       float64
+	TriggerReason   string
+}
+
+// Recorder is the flight recorder: a qtrace observer (attach it to the
+// cluster's completion stream with qtrace.Tee) and a sim.BarrierObserver
+// (compose it with the metrics sampler via BarrierTee). Ring state is
+// only ever touched from the simulation's own serialisation points — the
+// front-end event domain and the coordinator barrier — which never
+// overlap; the scalar status fields scraped over HTTP are behind a mutex.
+type Recorder struct {
+	cfg Config
+	ret *qtrace.Retainer
+
+	loads   func(dst []int) []int
+	cacheFn func() (lookups, hits uint64)
+	scratch []int
+	median  []int
+
+	obs     []obsEntry
+	obsHead int
+
+	bars    []BarrierSample
+	barHead int
+
+	mu          sync.Mutex
+	completions uint64
+	breaches    uint64
+	retained    int
+	detections  map[string]uint64
+	frozen      bool
+	verdict     *Verdict
+}
+
+// New creates a recorder with the given configuration (zero fields take
+// defaults). Call AttachLog before the run so retained completions carry
+// their timelines.
+func New(cfg Config) *Recorder {
+	cfg = cfg.withDefaults()
+	return &Recorder{
+		cfg:        cfg,
+		ret:        qtrace.NewRetainer(cfg.Window),
+		detections: make(map[string]uint64),
+	}
+}
+
+// Config reports the resolved configuration.
+func (r *Recorder) Config() Config { return r.cfg }
+
+// AttachLog binds the recorder's retainer to the query log whose
+// completion stream it observes.
+func (r *Recorder) AttachLog(l *qtrace.Log) { r.ret.Attach(l) }
+
+// SetLoadProvider attaches the per-node outstanding-queue source (the
+// cluster router's LoadsInto). Called once per completion; the recorder
+// passes a reused scratch slice, so providers should fill and return it.
+func (r *Recorder) SetLoadProvider(fn func(dst []int) []int) { r.loads = fn }
+
+// SetCacheProvider attaches the cumulative cache counter source (the
+// cluster's atomic cache counters: lookups and hits). Without one the
+// cache-collapse detector is inert and verdicts omit cache state.
+func (r *Recorder) SetCacheProvider(fn func() (lookups, hits uint64)) { r.cacheFn = fn }
+
+// QueryDone implements qtrace.Observer as a no-op; the recorder needs
+// completion instants, which arrive through QueryDoneAt.
+func (r *Recorder) QueryDone(int, sim.Time) {}
+
+// QueryDoneAt implements qtrace.ObserverAt: retain the completed query,
+// fold one detector observation into the ring, and — when armed — run
+// the detectors. The first trigger freezes every ring.
+func (r *Recorder) QueryDoneAt(id int, at, latency sim.Time) {
+	r.mu.Lock()
+	if r.frozen {
+		r.mu.Unlock()
+		return
+	}
+	r.mu.Unlock()
+
+	r.ret.QueryDoneAt(id, at, latency)
+
+	e := obsEntry{at: at, breached: latency > r.cfg.Objective}
+	if r.cacheFn != nil {
+		e.lookups, e.hits = r.cacheFn()
+	}
+	e.pt = r.observe(at, latency, e)
+	r.obs = append(r.obs, e)
+	cut := at - r.cfg.Window
+	for r.obsHead < len(r.obs) && r.obs[r.obsHead].at < cut {
+		r.obs[r.obsHead] = obsEntry{}
+		r.obsHead++
+	}
+	if r.obsHead > 64 && r.obsHead > len(r.obs)/2 {
+		n := copy(r.obs, r.obs[r.obsHead:])
+		for i := n; i < len(r.obs); i++ {
+			r.obs[i] = obsEntry{}
+		}
+		r.obs = r.obs[:n]
+		r.obsHead = 0
+	}
+
+	r.mu.Lock()
+	r.completions++
+	if e.breached {
+		r.breaches++
+	}
+	r.retained = r.ret.Len()
+	r.mu.Unlock()
+
+	if !r.cfg.Detect {
+		return
+	}
+	if name, reason := r.evaluate(e.pt); name != "" {
+		r.trigger(name, reason, at, e.pt)
+	}
+}
+
+// observe computes one detector observation from the ring state, with
+// cur as the newest (not yet appended) entry.
+func (r *Recorder) observe(at, latency sim.Time, cur obsEntry) ObsPoint {
+	pt := ObsPoint{
+		TMS:       at.Milliseconds(),
+		LatencyMS: latency.Milliseconds(),
+		Breached:  cur.breached,
+		HitShort:  -1,
+		HitLong:   -1,
+	}
+
+	// Burn fractions: completions within the trailing windows, current
+	// included. The ring spans Window ≥ LongWindow, so a backward scan
+	// suffices; ring population is bounded by the window, keeping the scan
+	// cheap and worker-count independent.
+	shortCut, longCut := at-r.cfg.ShortWindow, at-r.cfg.LongWindow
+	shortN, shortB, longN, longB := 1, 0, 1, 0
+	if cur.breached {
+		shortB, longB = 1, 1
+	}
+	for i := len(r.obs) - 1; i >= r.obsHead; i-- {
+		e := &r.obs[i]
+		if e.at < longCut {
+			break
+		}
+		longN++
+		if e.breached {
+			longB++
+		}
+		if e.at >= shortCut {
+			shortN++
+			if e.breached {
+				shortB++
+			}
+		}
+	}
+	pt.ShortN, pt.LongN = shortN, longN
+	pt.BurnShort = float64(shortB) / float64(shortN)
+	pt.BurnLong = float64(longB) / float64(longN)
+
+	// Queue shape: per-node outstanding depths right now.
+	if r.loads != nil {
+		r.scratch = r.loads(r.scratch[:0])
+		if n := len(r.scratch); n > 0 {
+			r.median = append(r.median[:0], r.scratch...)
+			sort.Ints(r.median)
+			pt.QueueMax = r.median[n-1]
+			pt.QueueMedian = float64(r.median[n/2])
+			if n%2 == 0 {
+				pt.QueueMedian = float64(r.median[n/2-1]+r.median[n/2]) / 2
+			}
+			if pt.QueueMedian > 0 {
+				pt.QueueRatio = float64(pt.QueueMax) / pt.QueueMedian
+			} else if pt.QueueMax > 0 {
+				pt.QueueRatio = float64(pt.QueueMax)
+			}
+		}
+	}
+
+	// Cache hit rates over the trailing windows: deltas of the cumulative
+	// counters against the newest entries preceding each window start.
+	if r.cacheFn != nil {
+		baseS := r.baseline(shortCut)
+		baseL := r.baseline(longCut)
+		pt.HitShort = rate(cur.lookups-baseS.lookups, cur.hits-baseS.hits)
+		pt.HitLong = rate(cur.lookups-baseL.lookups, cur.hits-baseL.hits)
+	}
+	return pt
+}
+
+// baseline finds the newest ring entry strictly before cut (zero counters
+// when the whole ring is inside the window).
+func (r *Recorder) baseline(cut sim.Time) obsEntry {
+	for i := len(r.obs) - 1; i >= r.obsHead; i-- {
+		if r.obs[i].at < cut {
+			return r.obs[i]
+		}
+	}
+	return obsEntry{}
+}
+
+// rate is hits/lookups, -1 when nothing was looked up.
+func rate(lookups, hits uint64) float64 {
+	if lookups == 0 {
+		return -1
+	}
+	return float64(hits) / float64(lookups)
+}
+
+// evaluate runs the detectors in fixed priority order and returns the
+// first that fires (empty name when none).
+func (r *Recorder) evaluate(pt ObsPoint) (name, reason string) {
+	c := r.cfg
+	if pt.LongN >= c.MinCompletions && pt.BurnShort >= c.BurnThreshold && pt.BurnLong >= c.BurnThreshold {
+		return DetectorSLOBurn, fmt.Sprintf(
+			"breach rate %.0f%% over %.1f ms and %.0f%% over %.1f ms, both >= %.0f%% of completions against the %.0f ms objective",
+			100*pt.BurnShort, c.ShortWindow.Milliseconds(),
+			100*pt.BurnLong, c.LongWindow.Milliseconds(),
+			100*c.BurnThreshold, c.Objective.Milliseconds())
+	}
+	if pt.QueueMax >= c.QueueFloor && pt.QueueRatio >= c.QueueRatio {
+		return DetectorQueueSkew, fmt.Sprintf(
+			"hot shard: max outstanding %d vs median %.1f (ratio %.1f >= %.1f)",
+			pt.QueueMax, pt.QueueMedian, pt.QueueRatio, c.QueueRatio)
+	}
+	if pt.HitLong >= 0 && pt.HitShort >= 0 && pt.HitLong-pt.HitShort >= c.CacheDrop {
+		// Gate on short-window traffic so a lull does not read as collapse.
+		// The caller appended the current entry last, so obs is non-empty.
+		cur := r.obs[len(r.obs)-1]
+		base := r.baseline(cur.at - c.ShortWindow)
+		if cur.lookups-base.lookups >= c.CacheMinLookups {
+			return DetectorCacheDrop, fmt.Sprintf(
+				"cache hit rate fell from %.0f%% (%.1f ms window) to %.0f%% (%.1f ms window), drop >= %.0f points",
+				100*pt.HitLong, c.LongWindow.Milliseconds(),
+				100*pt.HitShort, c.ShortWindow.Milliseconds(), 100*c.CacheDrop)
+		}
+	}
+	return "", ""
+}
+
+// trigger freezes the rings and records the verdict. Exactly one trigger
+// per run: every later completion and barrier sees frozen and returns.
+func (r *Recorder) trigger(name, reason string, at sim.Time, pt ObsPoint) {
+	v := r.buildVerdict(name, reason, at, &pt)
+	r.mu.Lock()
+	r.detections[name]++
+	r.frozen = true
+	r.verdict = v
+	r.mu.Unlock()
+}
+
+// buildVerdict assembles the verdict from ring state (caller is on the
+// simulation side, or post-run).
+func (r *Recorder) buildVerdict(name, reason string, at sim.Time, pt *ObsPoint) *Verdict {
+	v := &Verdict{
+		Detector:    name,
+		Reason:      reason,
+		Config:      r.cfg.view(),
+		Completions: r.completions,
+		Breaches:    r.breaches,
+		Observed:    pt,
+		Series:      make([]ObsPoint, 0, len(r.obs)-r.obsHead),
+	}
+	if name != "" {
+		v.TriggerMS = at.Milliseconds()
+	}
+	for i := r.obsHead; i < len(r.obs); i++ {
+		v.Series = append(v.Series, r.obs[i].pt)
+	}
+	if r.loads != nil {
+		v.RouterLoads = append([]int(nil), r.loads(make([]int, 0, 8))...)
+	}
+	if r.cacheFn != nil {
+		v.CacheLookups, v.CacheHits = r.cacheFn()
+	}
+	return v
+}
+
+// OnBarrier implements sim.BarrierObserver: retain one barrier snapshot
+// whenever the frontier advanced BarrierEvery past the previous sample
+// (always on the terminating barrier), unless frozen.
+func (r *Recorder) OnBarrier(m *sim.MultiEngine, mailboxes []int, final bool) {
+	r.mu.Lock()
+	frozen := r.frozen
+	r.mu.Unlock()
+	if frozen {
+		return
+	}
+	now := m.Now()
+	if n := len(r.bars); n > r.barHead {
+		last := r.bars[n-1].at
+		if final {
+			if now == last {
+				return
+			}
+		} else if now < last+r.cfg.BarrierEvery {
+			return
+		}
+	}
+	s := BarrierSample{at: now, FrontierUS: now.Microseconds(), Round: m.Rounds(), Final: final}
+	for i := 0; i < m.Domains(); i++ {
+		d := m.Domain(i)
+		mb := 0
+		if i < len(mailboxes) {
+			mb = mailboxes[i]
+		}
+		s.Domains = append(s.Domains, DomainStat{
+			ClockUS:  d.Now().Microseconds(),
+			Pending:  d.Pending(),
+			Mailbox:  mb,
+			Executed: d.Executed(),
+		})
+	}
+	r.bars = append(r.bars, s)
+	cut := now - r.cfg.Window
+	for r.barHead < len(r.bars) && r.bars[r.barHead].at < cut {
+		r.bars[r.barHead] = BarrierSample{}
+		r.barHead++
+	}
+	if r.barHead > 64 && r.barHead > len(r.bars)/2 {
+		n := copy(r.bars, r.bars[r.barHead:])
+		for i := n; i < len(r.bars); i++ {
+			r.bars[i] = BarrierSample{}
+		}
+		r.bars = r.bars[:n]
+		r.barHead = 0
+	}
+}
+
+// Frozen reports whether a detector fired.
+func (r *Recorder) Frozen() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.frozen
+}
+
+// Window reports the retained horizon the bundle covers: it ends at the
+// newest retained event (completion or barrier) and spans the configured
+// window, clamped at time zero.
+func (r *Recorder) Window() (from, to sim.Time) {
+	_, to = r.ret.Bounds()
+	if n := len(r.bars); n > r.barHead {
+		if bt := r.bars[n-1].at; bt > to {
+			to = bt
+		}
+	}
+	from = to - r.cfg.Window
+	if from < 0 {
+		from = 0
+	}
+	return from, to
+}
+
+// WindowLog rebuilds a self-contained qtrace.Log of the retained queries
+// (see qtrace.Retainer.WindowLog).
+func (r *Recorder) WindowLog() *qtrace.Log { return r.ret.WindowLog() }
+
+// WindowQueries returns copies of the retained queries, completion order.
+func (r *Recorder) WindowQueries() []qtrace.Query { return r.ret.Queries() }
+
+// BarrierWindow returns the retained barrier samples, oldest first.
+func (r *Recorder) BarrierWindow() []BarrierSample {
+	return append([]BarrierSample(nil), r.bars[r.barHead:]...)
+}
+
+// Verdict returns the frozen verdict when a detector fired, or assembles
+// an end-of-run verdict (Detector "") over the live ring. Call after the
+// run drains.
+func (r *Recorder) Verdict() Verdict {
+	r.mu.Lock()
+	v := r.verdict
+	r.mu.Unlock()
+	if v == nil {
+		var last *ObsPoint
+		if len(r.obs) > r.obsHead {
+			p := r.obs[len(r.obs)-1].pt
+			last = &p
+		}
+		nv := r.buildVerdict("", "", 0, nil)
+		nv.Observed = last
+		v = nv
+	}
+	out := *v
+	out.Detections = make(map[string]uint64, len(r.detections))
+	r.mu.Lock()
+	for k, n := range r.detections {
+		out.Detections[k] = n
+	}
+	out.Completions = r.completions
+	out.Breaches = r.breaches
+	r.mu.Unlock()
+	return out
+}
+
+// Status snapshots the live scalar state for HTTP scrapes. Safe to call
+// while the simulation runs.
+func (r *Recorder) Status() Status {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := Status{
+		WindowMS:    r.cfg.Window.Milliseconds(),
+		Detect:      r.cfg.Detect,
+		Completions: r.completions,
+		Breaches:    r.breaches,
+		Retained:    r.retained,
+		Frozen:      r.frozen,
+	}
+	if len(r.detections) > 0 {
+		st.Detections = make(map[string]uint64, len(r.detections))
+		for k, n := range r.detections {
+			st.Detections[k] = n
+		}
+	}
+	if r.verdict != nil {
+		st.TriggerDetector = r.verdict.Detector
+		st.TriggerMS = r.verdict.TriggerMS
+		st.TriggerReason = r.verdict.Reason
+	}
+	return st
+}
+
+// barrierTee fans the single barrier-observer slot out to two observers.
+type barrierTee struct{ a, b sim.BarrierObserver }
+
+func (t barrierTee) OnBarrier(m *sim.MultiEngine, mailboxes []int, final bool) {
+	t.a.OnBarrier(m, mailboxes, final)
+	t.b.OnBarrier(m, mailboxes, final)
+}
+
+// BarrierTee composes two barrier observers (nil collapses to the other
+// side) so the flight recorder shares the MultiEngine's single observer
+// slot with the metrics sampler: a notifies before b at every barrier.
+func BarrierTee(a, b sim.BarrierObserver) sim.BarrierObserver {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	return barrierTee{a: a, b: b}
+}

@@ -61,6 +61,25 @@ type Snapshot struct {
 	// SLO, present when a windowed SLO monitor is observed, carries the
 	// rolling sim-time window quantiles and the burn counters.
 	SLO *SLOStats `json:"slo,omitempty"`
+
+	// Anomalies, present when a flight recorder is observed, is the
+	// recorder's live detector state (also served alone at /anomalies).
+	Anomalies *AnomalyStatus `json:"anomalies,omitempty"`
+}
+
+// AnomalyStatus is the flight recorder's live state in a progress
+// snapshot — a decoupled mirror of flight.Status, so the inspector does
+// not depend on the flight package (the same pattern as CacheCounters).
+type AnomalyStatus struct {
+	WindowMs        float64           `json:"window_ms"`
+	Detect          bool              `json:"detect"`
+	Completions     uint64            `json:"completions"`
+	RetainedQueries int               `json:"retained_queries"`
+	Detections      map[string]uint64 `json:"detections,omitempty"`
+	Frozen          bool              `json:"frozen"`
+	TriggerDetector string            `json:"trigger_detector,omitempty"`
+	TriggerMs       float64           `json:"trigger_ms,omitempty"`
+	TriggerReason   string            `json:"trigger_reason,omitempty"`
 }
 
 // CacheCounters is the front-end result cache's live accounting in a
@@ -91,6 +110,7 @@ type Server struct {
 	multi     *sim.MultiEngine
 	cache     func() CacheCounters
 	slo       *SLOMonitor
+	anomalies func() AnomalyStatus
 }
 
 // New returns an inspector with empty counters. Call Start to serve.
@@ -153,6 +173,16 @@ func (s *Server) ObserveSLO(m *SLOMonitor) {
 	s.mu.Unlock()
 }
 
+// ObserveAnomalies attaches a flight-recorder status source: snapshots
+// thereafter include its live detector state and the /anomalies endpoint
+// serves it alone. The source must be safe to call while the simulation
+// runs — the flight recorder guards its status fields with a mutex.
+func (s *Server) ObserveAnomalies(fn func() AnomalyStatus) {
+	s.mu.Lock()
+	s.anomalies = fn
+	s.mu.Unlock()
+}
+
 // Snapshot returns the current progress state.
 func (s *Server) Snapshot() Snapshot {
 	s.mu.Lock()
@@ -188,6 +218,10 @@ func (s *Server) Snapshot() Snapshot {
 	if s.slo != nil {
 		st := s.slo.Stats() // its own mutex
 		snap.SLO = &st
+	}
+	if s.anomalies != nil {
+		a := s.anomalies()
+		snap.Anomalies = &a
 	}
 	return snap
 }
@@ -289,6 +323,28 @@ func publishVars() {
 		}
 		return snap.SLO.Windows[len(snap.SLO.Windows)-1].P99Ms
 	}))
+	expvar.Publish("slo_windows_evicted", expvar.Func(func() any {
+		snap, _ := snapshotActive()
+		if snap.SLO == nil {
+			return uint64(0)
+		}
+		return snap.SLO.WindowsEvicted
+	}))
+	expvar.Publish("flight_detections_total", expvar.Func(func() any {
+		snap, _ := snapshotActive()
+		if snap.Anomalies == nil {
+			return uint64(0)
+		}
+		var total uint64
+		for _, n := range snap.Anomalies.Detections {
+			total += n
+		}
+		return total
+	}))
+	expvar.Publish("flight_frozen", expvar.Func(func() any {
+		snap, _ := snapshotActive()
+		return snap.Anomalies != nil && snap.Anomalies.Frozen
+	}))
 }
 
 // Start listens on addr (":8080", or "127.0.0.1:0" for an ephemeral port)
@@ -314,6 +370,24 @@ func (s *Server) Start(addr string) error {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
+	mux.HandleFunc("/anomalies", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		s.mu.Lock()
+		fn := s.anomalies
+		s.mu.Unlock()
+		var body any
+		if fn == nil {
+			body = map[string]bool{"enabled": false}
+		} else {
+			st := fn()
+			body = &st
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(body); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -325,7 +399,7 @@ func (s *Server) Start(addr string) error {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprintf(w, "reachsim inspector\n\n/progress    JSON progress snapshot\n/debug/vars  expvar counters\n/debug/pprof profiling\n")
+		fmt.Fprintf(w, "reachsim inspector\n\n/progress    JSON progress snapshot\n/anomalies   flight-recorder detector state\n/debug/vars  expvar counters\n/debug/pprof profiling\n")
 	})
 
 	s.mu.Lock()

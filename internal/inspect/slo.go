@@ -31,6 +31,7 @@ type SLOMonitor struct {
 	base      int // window index of windows[0]
 	queries   uint64
 	breaches  uint64
+	evicted   uint64 // populated windows dropped past maxSLOWindows
 }
 
 type sloWindow struct {
@@ -77,6 +78,11 @@ func (m *SLOMonitor) QueryDoneAt(_ int, at, latency sim.Time) {
 	}
 	if len(m.windows) > maxSLOWindows {
 		drop := len(m.windows) - maxSLOWindows
+		for _, w := range m.windows[:drop] {
+			if w != nil && w.count > 0 {
+				m.evicted++
+			}
+		}
 		m.windows = append(m.windows[:0], m.windows[drop:]...)
 		m.base += drop
 	}
@@ -107,12 +113,16 @@ type SLOWindowStat struct {
 // SLOStats is the monitor's snapshot shape (served under /progress and
 // expvar).
 type SLOStats struct {
-	ObjectiveMs float64         `json:"objective_ms"`
-	WindowMs    float64         `json:"window_ms"`
-	Queries     uint64          `json:"queries"`
-	Breaches    uint64          `json:"breaches"`
-	BurnPct     float64         `json:"burn_pct"`
-	Windows     []SLOWindowStat `json:"windows,omitempty"`
+	ObjectiveMs float64 `json:"objective_ms"`
+	WindowMs    float64 `json:"window_ms"`
+	Queries     uint64  `json:"queries"`
+	Breaches    uint64  `json:"breaches"`
+	BurnPct     float64 `json:"burn_pct"`
+	// WindowsEvicted counts populated windows silently aged out past the
+	// maxSLOWindows retention cap — when non-zero, the per-window rows
+	// below are a suffix of the run, not the whole story.
+	WindowsEvicted uint64          `json:"windows_evicted,omitempty"`
+	Windows        []SLOWindowStat `json:"windows,omitempty"`
 }
 
 // Stats snapshots the monitor: cumulative burn plus per-window quantiles
@@ -121,10 +131,11 @@ func (m *SLOMonitor) Stats() SLOStats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	st := SLOStats{
-		ObjectiveMs: m.objective.Milliseconds(),
-		WindowMs:    m.width.Milliseconds(),
-		Queries:     m.queries,
-		Breaches:    m.breaches,
+		ObjectiveMs:    m.objective.Milliseconds(),
+		WindowMs:       m.width.Milliseconds(),
+		Queries:        m.queries,
+		Breaches:       m.breaches,
+		WindowsEvicted: m.evicted,
 	}
 	if m.queries > 0 {
 		st.BurnPct = 100 * float64(m.breaches) / float64(m.queries)
@@ -177,5 +188,9 @@ func (m *SLOMonitor) Table() *report.Table {
 	}
 	t.AddNote("objective %.3f ms, window %.3f ms", st.ObjectiveMs, st.WindowMs)
 	t.AddNote("%d queries, %d breaches (%.2f%% burn)", st.Queries, st.Breaches, st.BurnPct)
+	if st.WindowsEvicted > 0 {
+		t.AddNote("%d populated windows evicted past the %d-window retention cap — rows above are a suffix of the run",
+			st.WindowsEvicted, maxSLOWindows)
+	}
 	return t
 }

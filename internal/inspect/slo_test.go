@@ -198,3 +198,67 @@ func TestSLOScrapeDuringClusterRun(t *testing.T) {
 		t.Fatalf("final snapshot SLO block = %+v", snap.SLO)
 	}
 }
+
+// TestSLOWindowEvictionAtCap crosses the maxSLOWindows retention cap: the
+// oldest windows age out, but no longer silently — the eviction counter
+// surfaces in Stats, the table gains a suffix warning, and the expvar is
+// published. Cumulative burn counters must be unaffected by eviction.
+func TestSLOWindowEvictionAtCap(t *testing.T) {
+	width := sim.Millisecond
+	m := NewSLOMonitor(width, 10*sim.Millisecond)
+	const populated = maxSLOWindows + 576
+	for i := 0; i < populated; i++ {
+		m.QueryDoneAt(i, sim.Time(i)*width, 20*sim.Millisecond) // every one a breach
+	}
+	st := m.Stats()
+	if st.Queries != populated || st.Breaches != populated {
+		t.Fatalf("queries=%d breaches=%d, want %d cumulative despite eviction",
+			st.Queries, st.Breaches, populated)
+	}
+	if len(st.Windows) != maxSLOWindows {
+		t.Fatalf("%d windows retained, want the cap %d", len(st.Windows), maxSLOWindows)
+	}
+	if st.WindowsEvicted != populated-maxSLOWindows {
+		t.Fatalf("WindowsEvicted = %d, want %d", st.WindowsEvicted, populated-maxSLOWindows)
+	}
+	// The retained rows are the newest suffix.
+	wantStart := sim.Time(populated-maxSLOWindows) * width
+	if st.Windows[0].StartMs != wantStart.Milliseconds() {
+		t.Errorf("oldest retained window starts at %.3f ms, want %.3f ms",
+			st.Windows[0].StartMs, wantStart.Milliseconds())
+	}
+	tbl := m.Table()
+	if len(tbl.Notes) != 3 || !strings.Contains(tbl.Notes[2], "576 populated windows evicted") {
+		t.Errorf("table notes = %v, want eviction warning", tbl.Notes)
+	}
+
+	// Sparse gap: only populated windows count as evictions.
+	m2 := NewSLOMonitor(width, 10*sim.Millisecond)
+	m2.QueryDoneAt(0, 0, 5*sim.Millisecond)
+	m2.QueryDoneAt(1, sim.Time(2*maxSLOWindows)*width, 5*sim.Millisecond)
+	if got := m2.Stats().WindowsEvicted; got != 1 {
+		t.Errorf("sparse eviction counted %d windows, want 1 (nil gaps are free)", got)
+	}
+
+	// Below the cap nothing is evicted and the table carries no warning.
+	m3 := NewSLOMonitor(width, 10*sim.Millisecond)
+	m3.QueryDoneAt(0, 0, 20*sim.Millisecond)
+	if st := m3.Stats(); st.WindowsEvicted != 0 {
+		t.Errorf("uncapped monitor reports %d evictions", st.WindowsEvicted)
+	}
+	if notes := m3.Table().Notes; len(notes) != 2 {
+		t.Errorf("uncapped table notes = %v, want no eviction warning", notes)
+	}
+
+	// The expvar surfaces the counter for live scrapes.
+	s := New()
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.ObserveSLO(m)
+	vars := get(t, "http://"+s.Addr()+"/debug/vars")
+	if !strings.Contains(vars, `"slo_windows_evicted": 576`) {
+		t.Errorf("/debug/vars missing slo_windows_evicted: %.200s", vars)
+	}
+}

@@ -1,0 +1,123 @@
+package qtrace
+
+import (
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Retainer is the flight recorder's windowed retaining observer: attached
+// to a Log's completion stream (through Tee, like any other observer), it
+// copies each completed query — identity, bounds, timeline, attribution —
+// into a sliding ring holding only the queries that completed within the
+// last `window` of simulated time. The live Log keeps serving sketches
+// and reports as before; the retainer is the bounded black-box copy a
+// diagnostic bundle is cut from after the fact.
+//
+// Memory is bounded by the window: entries older than window behind the
+// newest completion are evicted on every insert, and the backing slice is
+// compacted once the dead prefix dominates. Completions arrive in
+// nondecreasing simulated-time order (they are emitted by a single
+// front-end event domain), so eviction is O(1) amortised and the retained
+// set is a pure function of the simulation — independent of worker count.
+//
+// A Retainer is not safe for concurrent use; like the Log it rides on, it
+// belongs to the simulation goroutine.
+type Retainer struct {
+	log    *Log
+	window sim.Time
+	buf    []Query
+	head   int
+}
+
+// NewRetainer returns a retainer holding the trailing `window` of
+// completions (must be positive). Call Attach before the first completion.
+func NewRetainer(window sim.Time) *Retainer {
+	if window <= 0 {
+		panic("qtrace: retainer window must be positive")
+	}
+	return &Retainer{window: window}
+}
+
+// Attach binds the retainer to the log whose completion stream it
+// observes — the source it copies query timelines out of. A retainer
+// without a log ignores completions.
+func (r *Retainer) Attach(l *Log) { r.log = l }
+
+// QueryDone implements Observer as a no-op; the retainer needs the
+// completion instant, which arrives through QueryDoneAt.
+func (r *Retainer) QueryDone(int, sim.Time) {}
+
+// QueryDoneAt implements ObserverAt: deep-copy the completed query into
+// the ring and slide the window forward to its completion instant.
+func (r *Retainer) QueryDoneAt(id int, at, _ sim.Time) {
+	if r.log == nil {
+		return
+	}
+	q := r.log.Query(id)
+	if q == nil {
+		return
+	}
+	cp := *q
+	cp.Intervals = append([]Interval(nil), q.Intervals...)
+	cp.Attribution = append([]Attribution(nil), q.Attribution...)
+	r.buf = append(r.buf, cp)
+	cut := at - r.window
+	for r.head < len(r.buf) && r.buf[r.head].Done < cut {
+		r.buf[r.head] = Query{} // release the clone for GC
+		r.head++
+	}
+	if r.head > 64 && r.head > len(r.buf)/2 {
+		n := copy(r.buf, r.buf[r.head:])
+		for i := n; i < len(r.buf); i++ {
+			r.buf[i] = Query{}
+		}
+		r.buf = r.buf[:n]
+		r.head = 0
+	}
+}
+
+// Len reports how many completions the window currently retains.
+func (r *Retainer) Len() int { return len(r.buf) - r.head }
+
+// Bounds reports the retained horizon: the window ending at the newest
+// retained completion, clamped at time zero. Zero values when empty.
+func (r *Retainer) Bounds() (from, to sim.Time) {
+	if r.Len() == 0 {
+		return 0, 0
+	}
+	to = r.buf[len(r.buf)-1].Done
+	from = to - r.window
+	if from < 0 {
+		from = 0
+	}
+	return from, to
+}
+
+// Queries returns copies of the retained queries in completion order.
+func (r *Retainer) Queries() []Query {
+	out := make([]Query, r.Len())
+	copy(out, r.buf[r.head:])
+	return out
+}
+
+// WindowLog rebuilds a self-contained Log holding exactly the retained
+// queries — timelines, attributions and latency sketch — by replaying
+// them in QueryID order. The result is what a full-run Log would look
+// like had the run consisted of only the in-window queries, so every
+// exporter that consumes a Log (the Chrome trace builder, the straggler
+// reducers) works on the windowed copy unchanged.
+func (r *Retainer) WindowLog() *Log {
+	retained := r.Queries()
+	sort.Slice(retained, func(i, j int) bool { return retained[i].ID < retained[j].ID })
+	l := NewLog(Options{})
+	for i := range retained {
+		q := &retained[i]
+		l.Submitted(q.ID, q.Job, q.Arrival)
+		for _, iv := range q.Intervals {
+			l.Add(q.ID, iv)
+		}
+		l.Completed(q.ID, q.Done)
+	}
+	return l
+}

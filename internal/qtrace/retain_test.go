@@ -1,0 +1,115 @@
+package qtrace
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// feedRetainer wires a retainer to a fresh log and plays n queries
+// through it, one completion per millisecond, each with a 2 ms exec
+// interval and qid-proportional latency pattern.
+func feedRetainer(window sim.Time, n int) (*Retainer, *Log) {
+	r := NewRetainer(window)
+	l := NewLog(Options{Observer: r})
+	r.Attach(l)
+	for i := 0; i < n; i++ {
+		at := sim.Time(i) * sim.Millisecond
+		l.Submitted(i, i, at)
+		l.Add(i, Interval{Phase: PhaseExec, Stage: "FE", Level: "OnChip", Detail: "onchip0", Start: at, End: at + 2*sim.Millisecond})
+		l.Completed(i, at+2*sim.Millisecond)
+	}
+	return r, l
+}
+
+// TestRetainerSlidesWindow: only completions within the trailing window
+// of the newest one are retained; older clones are evicted as time moves.
+func TestRetainerSlidesWindow(t *testing.T) {
+	r, _ := feedRetainer(10*sim.Millisecond, 100)
+	// Newest completion at 101 ms; retained: Done >= 91 ms → qids 89..99.
+	if r.Len() != 11 {
+		t.Fatalf("retained %d queries, want 11", r.Len())
+	}
+	from, to := r.Bounds()
+	if to != 101*sim.Millisecond || from != 91*sim.Millisecond {
+		t.Fatalf("bounds = [%v, %v], want [91ms, 101ms]", from, to)
+	}
+	qs := r.Queries()
+	if qs[0].ID != 89 || qs[len(qs)-1].ID != 99 {
+		t.Fatalf("retained qids %d..%d, want 89..99", qs[0].ID, qs[len(qs)-1].ID)
+	}
+	for _, q := range qs {
+		if len(q.Intervals) != 1 || !q.Completed() {
+			t.Fatalf("query %d retained without its timeline: %+v", q.ID, q)
+		}
+	}
+
+	// The compaction path must not lose or reorder entries (head crossed
+	// the >64 threshold many times above); an explicitly long run checks
+	// a second regime.
+	r2, _ := feedRetainer(sim.Millisecond, 500)
+	if r2.Len() != 2 {
+		t.Fatalf("1ms window retained %d, want 2", r2.Len())
+	}
+	if got := r2.Queries(); got[0].ID != 498 || got[1].ID != 499 {
+		t.Fatalf("retained qids = %d,%d, want 498,499", got[0].ID, got[1].ID)
+	}
+}
+
+// TestRetainerCopiesAreIndependent: the retained clone must not alias the
+// live log's interval storage — DropTimelines or later mutation of the
+// log cannot reach into an already-cut bundle.
+func TestRetainerCopiesAreIndependent(t *testing.T) {
+	r := NewRetainer(sim.Second)
+	l := NewLog(Options{Observer: r})
+	r.Attach(l)
+	l.Submitted(0, 0, 0)
+	l.Add(0, Interval{Phase: PhaseExec, Start: 0, End: sim.Millisecond})
+	l.Completed(0, sim.Millisecond)
+	l.Query(0).Intervals[0].Phase = "mutated"
+	l.Query(0).Attribution[0].Phase = "mutated"
+	q := r.Queries()[0]
+	if q.Intervals[0].Phase != PhaseExec || q.Attribution[0].Phase != PhaseExec {
+		t.Fatalf("retained copy aliases the live log: %+v", q)
+	}
+
+	// Detached or unknown completions are ignored, not a panic.
+	detached := NewRetainer(sim.Second)
+	detached.QueryDoneAt(0, 0, 0)
+	if detached.Len() != 0 {
+		t.Fatal("detached retainer retained a query")
+	}
+	r.QueryDoneAt(999, sim.Millisecond, 0)
+	if r.Len() != 1 {
+		t.Fatal("unknown qid retained")
+	}
+}
+
+// TestRetainerWindowLog: the rebuilt window log is a self-contained Log —
+// query table, timelines, recomputed attributions and latency sketch all
+// restricted to the retained set.
+func TestRetainerWindowLog(t *testing.T) {
+	r, full := feedRetainer(10*sim.Millisecond, 100)
+	wl := r.WindowLog()
+	if got := wl.CompletedCount(); got != 11 {
+		t.Fatalf("window log completed %d, want 11", got)
+	}
+	if got := wl.Sketch().Count(); got != 11 {
+		t.Fatalf("window sketch count %d, want 11", got)
+	}
+	for _, q := range wl.Queries() {
+		orig := full.Query(q.ID)
+		if q.Arrival != orig.Arrival || q.Done != orig.Done || q.Job != orig.Job {
+			t.Fatalf("window query %d bounds diverged: %+v vs %+v", q.ID, q, orig)
+		}
+		if len(q.Intervals) != len(orig.Intervals) {
+			t.Fatalf("window query %d lost intervals", q.ID)
+		}
+		if q.Dominant() != orig.Dominant() {
+			t.Fatalf("window query %d attribution diverged", q.ID)
+		}
+	}
+	if empty := NewRetainer(sim.Second).WindowLog(); empty.CompletedCount() != 0 {
+		t.Fatal("empty retainer should rebuild an empty log")
+	}
+}

@@ -1,0 +1,114 @@
+package qtrace
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// orderedObserver appends "<name>.done" / "<name>.at" markers to a shared
+// journal, making callback order observable across tee sides.
+type orderedObserver struct {
+	name    string
+	journal *[]string
+	at      bool
+}
+
+func (o *orderedObserver) QueryDone(int, sim.Time) {
+	*o.journal = append(*o.journal, o.name+".done")
+}
+
+// orderedAtObserver extends orderedObserver with the ObserverAt hook.
+type orderedAtObserver struct{ orderedObserver }
+
+func (o *orderedAtObserver) QueryDoneAt(int, sim.Time, sim.Time) {
+	*o.journal = append(*o.journal, o.name+".at")
+}
+
+// TestTeeOrdering: Tee notifies a strictly before b, for both the plain
+// and the At streams, and nested tees preserve left-to-right order — the
+// property cmd relies on when chaining inspector → SLO monitor → flight
+// recorder on one completion stream.
+func TestTeeOrdering(t *testing.T) {
+	var journal []string
+	a := &orderedAtObserver{orderedObserver{name: "a", journal: &journal}}
+	b := &orderedAtObserver{orderedObserver{name: "b", journal: &journal}}
+	c := &orderedAtObserver{orderedObserver{name: "c", journal: &journal}}
+	l := NewLog(Options{Observer: Tee(Tee(a, b), c)})
+	l.Submitted(0, 0, 0)
+	l.Completed(0, 10)
+	// The log emits every QueryDone before any QueryDoneAt; each stream
+	// fans out left to right.
+	want := []string{"a.done", "b.done", "c.done", "a.at", "b.at", "c.at"}
+	if !reflect.DeepEqual(journal, want) {
+		t.Fatalf("callback order = %v, want %v", journal, want)
+	}
+}
+
+// TestTeePlainSidesOnly: a tee of two plain observers still satisfies
+// ObserverAt structurally, and its QueryDoneAt must be a safe no-op —
+// neither side implements the extension, so no At callbacks fire and
+// nothing panics.
+func TestTeePlainSidesOnly(t *testing.T) {
+	var journal []string
+	a := &orderedObserver{name: "a", journal: &journal}
+	b := &orderedObserver{name: "b", journal: &journal}
+	teed := Tee(a, b)
+	l := NewLog(Options{Observer: teed})
+	l.Submitted(0, 0, 0)
+	l.Completed(0, 10)
+	want := []string{"a.done", "b.done"}
+	if !reflect.DeepEqual(journal, want) {
+		t.Fatalf("journal = %v, want %v (no .at entries)", journal, want)
+	}
+}
+
+// TestTeeMixedSides: only the side implementing ObserverAt receives the
+// At stream; the plain side is unaffected by its sibling's extension.
+func TestTeeMixedSides(t *testing.T) {
+	var journal []string
+	plain := &orderedObserver{name: "p", journal: &journal}
+	at := &orderedAtObserver{orderedObserver{name: "x", journal: &journal}}
+	l := NewLog(Options{Observer: Tee(plain, at)})
+	l.Submitted(0, 0, 0)
+	l.Completed(0, 10)
+	want := []string{"p.done", "x.done", "x.at"}
+	if !reflect.DeepEqual(journal, want) {
+		t.Fatalf("journal = %v, want %v", journal, want)
+	}
+}
+
+// TestTeeNilCollapse: a nil side collapses to the other operand — the
+// same dynamic value, not a wrapper — so observer effects with Tee(x, nil)
+// are exactly the effects of x alone, and Tee(nil, nil) attaches nothing.
+func TestTeeNilCollapse(t *testing.T) {
+	if Tee(nil, nil) != nil {
+		t.Fatal("Tee(nil, nil) must be nil so the log skips the hook entirely")
+	}
+	x := &captureAtObserver{}
+	if got := Tee(x, nil); got != Observer(x) {
+		t.Fatalf("Tee(x, nil) = %T, want x itself", got)
+	}
+	if got := Tee(nil, x); got != Observer(x) {
+		t.Fatalf("Tee(nil, x) = %T, want x itself", got)
+	}
+
+	// Effect-zero check: a run observed via Tee(nil, x) produces the same
+	// callback stream as one observed via x directly.
+	run := func(obs Observer) *captureAtObserver {
+		cap := obs.(*captureAtObserver)
+		l := NewLog(Options{Observer: obs})
+		l.Submitted(0, 0, ms(1))
+		l.Submitted(1, 1, ms(2))
+		l.Completed(1, ms(7))
+		l.Completed(0, ms(9))
+		return cap
+	}
+	direct := run(&captureAtObserver{})
+	teed := run(Tee(nil, &captureAtObserver{}))
+	if !reflect.DeepEqual(direct.ids, teed.ids) || !reflect.DeepEqual(direct.ats, teed.ats) {
+		t.Fatalf("Tee(nil, x) stream (%v @ %v) diverged from x alone (%v @ %v)",
+			teed.ids, teed.ats, direct.ids, direct.ats)
+	}
+}

@@ -21,11 +21,15 @@ func clusterNodePID(i int) int { return 2 + i }
 
 // AddCluster merges a cluster run's observability streams into the
 // timeline: the per-query trace log fans out to per-node lanes (routed by
-// each interval's detail label), the barrier sampler's series land as
-// counters under their owning node's process, and each node's GAM span log
-// lands under that node. Any of l and rec may be nil; rec.Spans may be
-// empty when span recording was off.
-func (t *Timeline) AddCluster(nodes int, l *qtrace.Log, rec *metrics.MultiRecorder) {
+// each interval's detail label), the counter source's series land under
+// their owning node's process, and each per-node span log lands under
+// that node. Any argument may be nil (spans entries included). Taking a
+// metrics.Source rather than the live recorder lets callers hand in a
+// windowed view (metrics.WindowOf / metrics.WindowSpans) and cut a
+// bundle-sized trace with the same renderer as a full-run trace; pass a
+// MultiRecorder's Sampler and Spans fields for the full run. Beware
+// typed-nil Sources: convert a possibly-nil *MultiSampler before calling.
+func (t *Timeline) AddCluster(nodes int, l *qtrace.Log, counters metrics.Source, spans []*metrics.SpanLog) {
 	t.SetProcessName(clusterFEPID, "front end")
 	for i := 0; i < nodes; i++ {
 		t.SetProcessName(clusterNodePID(i), fmt.Sprintf("node %d", i))
@@ -33,14 +37,12 @@ func (t *Timeline) AddCluster(nodes int, l *qtrace.Log, rec *metrics.MultiRecord
 	if l != nil {
 		t.addClusterQueries(l)
 	}
-	if rec != nil {
-		if rec.Sampler != nil {
-			t.AddClusterCounters(rec.Sampler)
-		}
-		for i, sl := range rec.Spans {
-			if sl != nil {
-				t.addSpansAt(clusterNodePID(i), sl)
-			}
+	if counters != nil {
+		t.AddClusterCounters(counters)
+	}
+	for i, sl := range spans {
+		if sl != nil {
+			t.addSpansAt(clusterNodePID(i), sl)
 		}
 	}
 }

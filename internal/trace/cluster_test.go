@@ -35,7 +35,7 @@ func runClusterTrace(t *testing.T, pj int) []byte {
 		t.Fatal(err)
 	}
 	tl := NewTimeline()
-	tl.AddCluster(cfg.Nodes, c.QLog(), rec)
+	tl.AddCluster(cfg.Nodes, c.QLog(), rec.Sampler, rec.Spans)
 	var buf bytes.Buffer
 	if err := tl.WriteJSON(&buf); err != nil {
 		t.Fatal(err)
